@@ -1,0 +1,108 @@
+"""Benchmark: the Sec. VI-E lesson ablations.
+
+1. Replication removal (Proposition 1) lowers CPU utilization.
+2. Pruning trades fault-free overhead for recovery latency.
+3. Removal + pruning (FRAME) wins on both sides vs FCFS−.
+4. Retention +1 (FRAME+) removes replication and cuts Backup load.
+"""
+
+from conftest import SCALE
+
+from repro.experiments import ablations
+
+
+def test_lesson1_replication_removal(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: ablations.lesson1_replication_removal(scale=SCALE, seeds=range(2)),
+        rounds=1, iterations=1)
+    emit("ablation_lesson1", result.render())
+    frame = result.metrics["FRAME"]
+    no_selective = result.metrics["FRAME-noSR"]
+    fcfs = result.metrics["FCFS"]
+    # Replication removal vs the undifferentiated baseline: FCFS saturates
+    # its delivery cores at 7525 topics while FRAME runs far below.
+    assert fcfs["delivery_util"] >= 0.99
+    assert frame["delivery_util"] <= 0.70 * fcfs["delivery_util"]
+    assert frame["latency_success_%"] >= 99.0
+    # Emergent result worth pinning: under EDF + coordination, disabling
+    # Proposition 1 barely raises CPU - Table 3's "a dispatched message no
+    # longer needs to be replicated" cancels most replications dynamically.
+    # Proposition 1's static removal still avoids the queue churn, and is
+    # what makes FRAME's guarantee *analyzable* rather than emergent.
+    assert frame["delivery_util"] <= no_selective["delivery_util"] + 0.02
+
+
+def test_lesson2_pruning_tradeoff(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: ablations.lesson2_pruning_tradeoff(scale=SCALE, seeds=range(2)),
+        rounds=1, iterations=1)
+    emit("ablation_lesson2", result.render())
+    fcfs = result.metrics["FCFS"]
+    fcfs_minus = result.metrics["FCFS-"]
+    # Coordination overhead: FCFS burns more delivery CPU than FCFS-.
+    assert fcfs["delivery_util"] > fcfs_minus["delivery_util"]
+    # ... and without pruning, recovery has to clear the full buffer.
+    assert fcfs_minus["recovery_jobs"] > 10 * max(fcfs["recovery_jobs"], 1)
+
+
+def test_lesson3_combined(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: ablations.lesson3_combined(scale=SCALE, seeds=range(2)),
+        rounds=1, iterations=1)
+    emit("ablation_lesson3", result.render())
+    frame = result.metrics["FRAME"]
+    fcfs_minus = result.metrics["FCFS-"]
+    # FRAME recovers with a far smaller spike (pruned Backup Buffer) while
+    # matching FCFS-'s fault-free success; its delivery load is in the same
+    # band (coordination costs what blanket replication saves at this
+    # workload - the decisive CPU gap is against FCFS, see lesson 1).
+    assert frame["peak_latency_after_crash_ms"] < (
+        0.5 * fcfs_minus["peak_latency_after_crash_ms"])
+    assert frame["recovery_jobs"] < fcfs_minus["recovery_jobs"] / 10
+    assert frame["loss_success_%"] >= 99.0
+    assert frame["latency_success_%"] >= 99.0
+    assert abs(frame["delivery_util"] - fcfs_minus["delivery_util"]) < 0.15
+
+
+def test_lesson4_retention(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: ablations.lesson4_retention(scale=SCALE, seeds=range(2)),
+        rounds=1, iterations=1)
+    emit("ablation_lesson4", result.render())
+    frame = result.metrics["FRAME"]
+    frame_plus = result.metrics["FRAME+"]
+    # One more retained message removes replication: the Backup goes idle
+    # and the Primary's delivery load drops markedly at 13525 topics.
+    assert frame_plus["backup_proxy_util"] < 0.05
+    assert frame["backup_proxy_util"] > 0.2
+    assert frame_plus["delivery_util"] < 0.75 * frame["delivery_util"]
+    assert frame_plus["latency_success_%"] >= frame["latency_success_%"]
+
+
+def test_table1_strategies(benchmark, emit):
+    """The Table 1 strategy comparison, incl. the local-disk strategy the
+    paper declined to measure: validate that it 'performs relatively
+    slowly' — its delivery workers saturate on journal writes at a
+    workload FRAME handles comfortably."""
+    results = benchmark.pedantic(
+        lambda: ablations.table1_strategies(scale=SCALE, seeds=range(2)),
+        rounds=1, iterations=1)
+    for result in results:
+        emit(f"ablation_table1_{result.workload}", result.render())
+    by_workload = {result.workload: result.metrics for result in results}
+    # At 7525 all three strategies still meet latency requirements.
+    for policy in ("FRAME+", "FRAME", "DiskLog"):
+        assert by_workload[7525][policy]["latency_success_%"] >= 99.0
+    # At 10525 the disk strategy's ceiling is exceeded while FRAME holds.
+    assert by_workload[10525]["FRAME"]["latency_success_%"] >= 99.0
+    assert by_workload[10525]["DiskLog"]["latency_success_%"] <= 50.0
+    # And the disk strategy never touches the Backup.
+    for workload in (7525, 10525):
+        assert by_workload[workload]["DiskLog"]["backup_proxy_util"] == 0.0
+
+
+def test_retention_sweep(benchmark, emit):
+    result = benchmark.pedantic(ablations.retention_sweep, rounds=1, iterations=1)
+    emit("ablation_retention_sweep", result.render())
+    assert result.replicated_categories[0] == (2, 5)
+    assert result.replicated_categories[1] == ()

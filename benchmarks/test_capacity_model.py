@@ -1,0 +1,61 @@
+"""Benchmark: the closed-form capacity model vs the measured simulator.
+
+Emits a predicted-vs-measured utilization grid across policies and
+workloads.  Measured cells come from the same cached fault-free runs as
+Table 5 / Fig 7; predictions use the noise-free cost model, so measured
+values may exceed predictions by up to the background-load band (≤ 7 %).
+"""
+
+from dataclasses import replace
+
+from conftest import SCALE, SEEDS
+
+from repro.analysis import predict_utilization
+from repro.core.config import CostModel
+from repro.core.policy import ALL_POLICIES
+from repro.experiments.cells import run_cell
+from repro.experiments.runner import ExperimentSettings
+from repro.metrics.report import format_table
+from repro.metrics.stats import mean_confidence_interval
+from repro.workloads.spec import build_workload
+
+WORKLOADS = (4525, 7525, 10525)
+MODULES = ("primary_proxy", "primary_delivery", "backup_proxy")
+
+
+def test_capacity_model_validation(benchmark, emit):
+    base = ExperimentSettings(scale=SCALE, crash_at=None)
+
+    def sweep():
+        rows = []
+        worst_gap = 0.0
+        for workload in WORKLOADS:
+            specs = build_workload(workload, scale=SCALE).specs
+            for policy in ALL_POLICIES:
+                plan = predict_utilization(
+                    specs, policy, base.deadline_parameters(),
+                    CostModel.calibrated(SCALE))
+                measured = {key: [] for key in MODULES}
+                for seed in SEEDS:
+                    cell = run_cell(replace(base, policy=policy,
+                                            paper_total=workload, seed=seed))
+                    for key in MODULES:
+                        measured[key].append(cell.utilizations[key])
+                for key in MODULES:
+                    predicted = plan.module(key).utilization
+                    mean, _ = mean_confidence_interval(measured[key])
+                    gap = mean - predicted
+                    if predicted < 0.97:   # saturated cells clamp; skip gap
+                        worst_gap = max(worst_gap, abs(gap) - 0.08 * predicted)
+                    rows.append([str(workload), policy.name, key,
+                                 f"{100 * predicted:.1f}", f"{100 * mean:.1f}",
+                                 f"{100 * gap:+.1f}"])
+        return rows, worst_gap
+
+    rows, worst_gap = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("capacity_model_validation", format_table(
+        "Capacity model validation: predicted vs measured utilization (%)",
+        ["workload", "policy", "module", "predicted", "measured", "gap"],
+        rows))
+    # Unsaturated cells must sit within prediction + background band +2pp.
+    assert worst_gap <= 0.02, f"model error beyond tolerance: {worst_gap:.3f}"

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Fig. 7 (per-module CPU utilization).
+
+Paper shape being reproduced:
+
+* (a) Message Delivery on the Primary: FCFS highest (saturating from 7525
+  topics), FRAME well below it (selective replication saves the
+  replication + coordination work of categories 0/1/3), FRAME+ lowest
+  (no replication at all);
+* (b) Message Proxy on the Primary: grows with the arrival rate and is
+  nearly policy-independent;
+* (c) Message Proxy on the Backup: tracks replication traffic — zero for
+  FRAME+, small for FRAME (categories 2 and 5 only), large for FCFS
+  (replicas + prune directives) and FCFS− (replicas only).
+
+These cells are fault-free runs shared with Table 5 via the cell cache.
+"""
+
+from conftest import SCALE, SEEDS
+
+from repro.experiments.figures import fig7
+
+
+def test_fig7(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: fig7(seeds=SEEDS, scale=SCALE), rounds=1, iterations=1)
+    emit("fig7", result.render())
+
+    delivery = lambda w, p: result.value("primary_delivery", w, p)
+    proxy = lambda w, p: result.value("primary_proxy", w, p)
+    backup = lambda w, p: result.value("backup_proxy", w, p)
+
+    for workload in (4525, 7525):
+        # (a) ordering: FRAME+ < FRAME < FCFS; FCFS- below FCFS.
+        assert delivery(workload, "FRAME+") < delivery(workload, "FRAME")
+        assert delivery(workload, "FRAME") < delivery(workload, "FCFS")
+        assert delivery(workload, "FCFS-") < delivery(workload, "FCFS")
+    # FCFS saturates its two delivery cores from 7525 topics on.
+    assert delivery(7525, "FCFS") >= 0.99
+    assert delivery(4525, "FCFS") < 0.9
+    # FRAME saves a large fraction of FCFS's delivery usage at 7525.
+    assert delivery(7525, "FRAME") <= 0.70 * delivery(7525, "FCFS")
+
+    # (b) proxy utilization grows with workload, roughly policy-independent.
+    for policy in ("FRAME", "FCFS-"):
+        assert proxy(1525, policy) < proxy(7525, policy) < proxy(13525, policy)
+    assert abs(proxy(7525, "FRAME") - proxy(7525, "FRAME+")) < 0.05
+
+    # (c) backup proxy tracks replication traffic.
+    for workload in (4525, 7525):
+        assert backup(workload, "FRAME+") == 0.0
+        assert backup(workload, "FRAME") < backup(workload, "FCFS-")
+        assert backup(workload, "FCFS-") < backup(workload, "FCFS")

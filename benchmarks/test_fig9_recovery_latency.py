@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Fig. 9 (end-to-end latency around fault recovery).
+
+Paper shape being reproduced, at 7525 topics with a mid-run crash:
+
+* **FRAME** — the Backup Buffer is fully pruned at the crash instant, so
+  recovery work is minimal: category-0 peak latency stays below its 50 ms
+  deadline region (paper: below 50 ms), no losses;
+* **FRAME+** — no replication at all; the one in-flight message per
+  retained topic is recovered via publisher resend; latency slightly
+  above FRAME's (the Backup processes one extra copy per topic);
+* **FCFS** — overloaded before the crash: large latencies and real
+  message losses (paper: 206/103/20 losses for cats 0/2/5);
+* **FCFS−** — no coordination, so recovery must clear a *full* Backup
+  Buffer: a large latency spike (paper: >500 ms, ~10x FRAME's peak) but
+  no real losses.
+"""
+
+from conftest import SCALE
+
+from repro.core.units import ms
+from repro.experiments.figures import fig9
+
+
+def test_fig9(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: fig9(paper_total=7525, scale=SCALE, seed=3),
+        rounds=1, iterations=1)
+    charts = "\n\n".join(
+        result.render_chart(policy, 2)
+        for policy in ("FRAME", "FCFS-"))
+    emit("fig9", result.render() + "\n\n" + charts)
+
+    frame0 = result.trace("FRAME", 0)
+    frame_plus0 = result.trace("FRAME+", 0)
+    fcfs0 = result.trace("FCFS", 0)
+    fcfs_minus2 = result.trace("FCFS-", 2)
+    frame2 = result.trace("FRAME", 2)
+
+    # FRAME: no losses, peak stays within the 50 ms deadline region.
+    assert frame0.total_losses == 0
+    assert frame0.peak_latency_after <= ms(50)
+    # FRAME+: no losses either (publisher resend covers the gap).
+    assert frame_plus0.total_losses == 0
+    # FCFS loses messages outright at the crash.
+    assert fcfs0.total_losses > 0
+    assert fcfs0.max_consecutive_losses > 0
+    # FCFS-: no real losses, but a recovery spike roughly an order of
+    # magnitude above FRAME's peak (paper: >500 ms vs <50 ms).
+    assert fcfs_minus2.total_losses == 0
+    assert fcfs_minus2.peak_latency_after >= 5 * frame2.peak_latency_after
+    assert fcfs_minus2.peak_latency_after >= ms(200)
+    # The series are real (messages flowed before and after the crash).
+    for policy in result.policies:
+        for category in result.categories:
+            assert result.trace(policy, category).delivered > 10

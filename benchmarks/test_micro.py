@@ -1,0 +1,124 @@
+"""Micro-benchmarks: throughput of the hot-path components.
+
+The paper claims an *efficient* implementation; these quantify the
+simulation substrate's and broker primitives' costs so regressions in the
+hot path are visible.  Unlike the table benchmarks these use normal
+pytest-benchmark statistics (many rounds).
+"""
+
+from repro.core.buffers import BackupBuffer, RingBuffer
+from repro.core.model import Message
+from repro.core.scheduling import DISPATCH, EDFJobQueue, Job
+from repro.net.topology import Network
+from repro.sim import Engine, Host, Timeout
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-run of 10k chained timer events."""
+
+    def run():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                engine.call_after(1e-6, tick)
+
+        engine.call_soon(tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_process_switch_throughput(benchmark):
+    """10k process suspensions/resumptions."""
+
+    def run():
+        engine = Engine()
+
+        def proc():
+            for _ in range(10_000):
+                yield Timeout(1e-6)
+            return True
+
+        process = engine.spawn(proc())
+        engine.run()
+        return process.result()
+
+    assert benchmark(run)
+
+
+def test_edf_queue_push_pop(benchmark):
+    """5k EDF pushes + pops through the blocking queue."""
+
+    def run():
+        engine = Engine()
+        queue = EDFJobQueue(engine)
+        got = []
+
+        def consumer():
+            for _ in range(5000):
+                got.append((yield queue.pop()))
+
+        engine.spawn(consumer())
+        for index in range(5000):
+            queue.push(Job(DISPATCH, None, deadline=float(index % 97), cost=1e-6))
+        engine.run()
+        return len(got)
+
+    assert benchmark(run) == 5000
+
+
+def test_ring_buffer_append(benchmark):
+    ring = RingBuffer(capacity=10)
+    message = Message(0, 1, 0.0)
+
+    def run():
+        for _ in range(10_000):
+            ring.append(message)
+        return len(ring)
+
+    assert benchmark(run) == 10
+
+
+def test_backup_buffer_store_prune(benchmark):
+    def run():
+        buffer = BackupBuffer(capacity_per_topic=10)
+        for seq in range(2000):
+            buffer.store(Message(seq % 20, seq, 0.0), arrived_at=0.0)
+            buffer.prune(seq % 20, seq)
+        return buffer.total_count()
+
+    assert benchmark(run) > 0
+
+
+def test_network_send_throughput(benchmark):
+    def run():
+        engine = Engine()
+        network = Network(engine)
+        a, b = Host(engine, "a"), Host(engine, "b")
+        network.connect(a, b, 1e-4)
+        received = []
+        network.register(b, "b/svc", received.append)
+        for index in range(5000):
+            network.send(a, "b/svc", index)
+        engine.run()
+        return len(received)
+
+    assert benchmark(run) == 5000
+
+
+def test_end_to_end_small_run(benchmark):
+    """A complete 1525-topic (scaled) fault-free run: the unit of all sweeps."""
+    from repro.experiments.runner import ExperimentSettings, run_experiment
+
+    settings = ExperimentSettings(paper_total=1525, scale=0.1, seed=0,
+                                  warmup=1.0, measure=3.0, grace=0.5)
+
+    def run():
+        result = run_experiment(settings)
+        return result.primary_broker.stats.dispatched
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 1000

@@ -1,0 +1,75 @@
+"""Benchmark: simulator scalability (wall time per simulated second).
+
+Not a paper figure — an engineering benchmark that tracks how expensive
+one simulated second of each workload is, so performance regressions in
+the hot path (engine, EDF queue, broker loops) are caught.
+"""
+
+import time
+
+from conftest import SCALE
+
+from repro.experiments.runner import ExperimentSettings, run_experiment
+from repro.metrics.report import format_table
+
+
+def _measure(paper_total: int) -> float:
+    settings = ExperimentSettings(paper_total=paper_total, scale=SCALE, seed=0,
+                                  warmup=0.5, measure=2.0, grace=0.25)
+    start = time.perf_counter()
+    result = run_experiment(settings)
+    wall = time.perf_counter() - start
+    assert result.primary_broker.stats.dispatched > 0
+    return wall / 2.5   # wall seconds per simulated second
+
+
+def test_wall_time_per_simulated_second(benchmark, emit):
+    workloads = (1525, 7525, 13525)
+
+    def sweep():
+        return {total: _measure(total) for total in workloads}
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[str(total), f"{ratio:.2f}"] for total, ratio in ratios.items()]
+    emit("scalability", format_table(
+        "Simulator cost (wall seconds per simulated second, FRAME)",
+        ["workload (paper topics)", "wall s / sim s"], rows))
+    # Sanity ceiling: the default harness must stay practical.  Even the
+    # heaviest workload should simulate at no worse than ~6x real time on
+    # commodity hardware (generous bound to avoid flakiness on slow CI).
+    assert ratios[13525] < 20.0
+    # Cost grows with workload (more events), but sub-quadratically.
+    assert ratios[1525] < ratios[13525]
+    assert ratios[13525] < 40 * ratios[1525]
+
+
+def test_utilization_is_scale_invariant_empirically(benchmark, emit):
+    """The workload-scaling scheme (DESIGN.md §5): running the same paper
+    workload at two different scale factors yields the same module
+    utilizations, because topic counts shrink exactly as service demands
+    grow.  This is the empirical counterpart of the analytic property
+    test in tests/properties."""
+    from dataclasses import replace
+
+    from repro.experiments.runner import ExperimentSettings, run_experiment
+    from repro.metrics.report import format_table
+
+    base = ExperimentSettings(paper_total=4525, seed=2, warmup=1.0,
+                              measure=4.0, grace=0.5,
+                              background_noise_probability=0.0,
+                              background_idle_load=(0.0, 0.0))
+
+    def sweep():
+        coarse = run_experiment(replace(base, scale=0.05)).utilizations()
+        fine = run_experiment(replace(base, scale=0.2)).utilizations()
+        return coarse, fine
+
+    coarse, fine = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[key, f"{100 * coarse[key]:.1f}", f"{100 * fine[key]:.1f}"]
+            for key in sorted(coarse)]
+    emit("scale_invariance", format_table(
+        "Utilization at scale 0.05 vs 0.2 (4525-topic workload, %)",
+        ["module", "scale 0.05", "scale 0.2"], rows))
+    for key in coarse:
+        # Constant-term distortion bounds the difference (DESIGN.md §5).
+        assert abs(coarse[key] - fine[key]) < 0.06, key

@@ -1,0 +1,54 @@
+"""Benchmark: regenerate Table 4 (loss-tolerance success rates, crash runs).
+
+Paper shape being reproduced:
+
+* every configuration meets every requirement up to 4525 topics;
+* FCFS collapses to 0 % for all finite-Li rows from 7525 topics on
+  (overload: unreplicated backlogs die with the Primary);
+* FRAME and FRAME+ stay at 100 % through 10525 topics;
+* at 13525 topics FRAME degrades partially (wide CI: bimodal runs) while
+  FRAME+ — replication-free thanks to one extra retained message — stays
+  at 100 %;
+* FCFS− holds up except for the (100 ms, 0) row at 13525.
+"""
+
+from conftest import SCALE, SEEDS
+
+from repro.experiments.cells import TABLE_ROWS
+from repro.experiments.tables import table4
+
+INF = float("inf")
+
+
+def test_table4(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: table4(seeds=SEEDS, scale=SCALE), rounds=1, iterations=1)
+    emit("table4", result.render())
+
+    def cell(workload, row, policy):
+        return result.cell(workload, row, policy).mean
+
+    # --- Shape assertions against the paper ---------------------------
+    # FCFS collapses for every finite-Li row from 7525 topics on.
+    for workload in (7525, 10525, 13525):
+        for row in TABLE_ROWS:
+            if row[1] == INF:
+                assert cell(workload, row, "FCFS") == 100.0
+            else:
+                assert cell(workload, row, "FCFS") <= 20.0
+    # FRAME and FRAME+ meet everything through 10525 topics.
+    for workload in (7525, 10525):
+        for row in TABLE_ROWS:
+            assert cell(workload, row, "FRAME") >= 99.0
+            assert cell(workload, row, "FRAME+") >= 99.0
+    # At 13525: FRAME+ still perfect, FRAME partially degraded.
+    for row in TABLE_ROWS:
+        assert cell(13525, row, "FRAME+") >= 99.0
+    frame_13525 = [cell(13525, row, "FRAME") for row in TABLE_ROWS
+                   if row[1] != INF]
+    assert min(frame_13525) < 100.0, "FRAME should degrade at 13525"
+    assert sum(frame_13525) / len(frame_13525) >= 40.0, "but not collapse"
+    # FCFS- stays functional through 13525 (clear win over FCFS).
+    for row in TABLE_ROWS:
+        assert cell(13525, row, "FCFS-") >= 50.0
+        assert cell(13525, row, "FCFS-") > cell(13525, row, "FCFS") or row[1] == INF

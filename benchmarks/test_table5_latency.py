@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table 5 (latency success rates, fault-free runs).
+
+Paper shape being reproduced:
+
+* everything is ~100 % at 4525 topics;
+* FCFS collapses (≈0 %) from 7525 topics on — the overloaded Primary
+  delays nearly every message past its deadline;
+* FRAME/FRAME+/FCFS− keep ~100 % through 10525 topics;
+* at 13525 topics FRAME drops to the mid-80s (bimodal near-knee runs),
+  FRAME+ and FCFS− stay in the high 90s.
+"""
+
+from conftest import SCALE, SEEDS
+
+from repro.experiments.cells import TABLE_ROWS
+from repro.experiments.tables import table5
+
+INF = float("inf")
+
+
+def test_table5(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: table5(seeds=SEEDS, scale=SCALE), rounds=1, iterations=1)
+    emit("table5", result.render())
+
+    def cell(workload, row, policy):
+        return result.cell(workload, row, policy).mean
+
+    # All fine at 4525 for every policy.
+    for row in TABLE_ROWS:
+        for policy in ("FRAME+", "FRAME", "FCFS", "FCFS-"):
+            assert cell(4525, row, policy) >= 99.0
+    # FCFS collapse from 7525 on.
+    for workload in (7525, 10525, 13525):
+        for row in TABLE_ROWS:
+            assert cell(workload, row, "FCFS") <= 30.0
+    # The others hold through 10525.
+    for workload in (7525, 10525):
+        for row in TABLE_ROWS:
+            for policy in ("FRAME+", "FRAME", "FCFS-"):
+                assert cell(workload, row, policy) >= 99.0
+    # 13525: FRAME+ and FCFS- degrade mildly at most; FRAME visibly.
+    for row in TABLE_ROWS:
+        assert cell(13525, row, "FRAME+") >= 90.0
+        assert cell(13525, row, "FCFS-") >= 90.0
+    frame_mean = sum(cell(13525, row, "FRAME") for row in TABLE_ROWS) / len(TABLE_ROWS)
+    assert 40.0 <= frame_mean <= 99.5, "FRAME should sit between collapse and perfect"

@@ -1,0 +1,55 @@
+"""Benchmark: the Sec. III-D worked example (Table 2 deadline ordering).
+
+Regenerates the paper's deadline ordering and replication plan for the
+Table 2 topic set and renders them; also measures the (trivial) cost of
+the admission analysis over a large topic set, since FRAME performs it at
+initialization time.
+"""
+
+from conftest import SCALE
+
+from repro.core.timing import admission_test, deadline_order, replication_plan
+from repro.core.units import to_ms
+from repro.experiments.runner import ExperimentSettings
+from repro.metrics.report import format_table
+from repro.workloads.spec import CATEGORIES, build_workload
+
+
+def test_deadline_ordering_table(benchmark, emit):
+    params = ExperimentSettings().deadline_parameters()
+    specs = [CATEGORIES[c].make_topic(c) for c in range(6)]
+
+    order = benchmark(lambda: deadline_order(specs, params))
+
+    rows = [[kind, str(topic), f"{to_ms(deadline):.2f}"]
+            for kind, topic, deadline in order]
+    emit("deadline_order", format_table(
+        "Sec. III-D.2: deadline ordering over the Table 2 topic set (ms)",
+        ["job kind", "category", "relative deadline"], rows))
+
+    kinds = [(kind, topic) for kind, topic, _ in order]
+    # {Dd0=Dd1 < Dr0? no - only needed replications appear: Dr2 ... }
+    assert kinds[0] == ("dispatch", 0)
+    assert kinds[1] == ("dispatch", 1)
+    assert kinds[2] == ("replicate", 2)
+    assert kinds[-1] == ("dispatch", 5)
+    assert ("replicate", 5) in kinds
+    assert ("replicate", 0) not in kinds
+
+
+def test_admission_analysis_scales(benchmark):
+    """Admission + replication planning over a full 13525-topic set."""
+    params = ExperimentSettings().deadline_parameters()
+    workload = build_workload(13525, scale=1.0)
+
+    def analyze():
+        plan = replication_plan(workload.specs, params)
+        admitted = sum(admission_test(spec, params).admitted
+                       for spec in workload.specs)
+        return plan, admitted
+
+    plan, admitted = benchmark(analyze)
+    assert admitted == workload.topic_count
+    replicated = sum(plan.values())
+    # Only categories 2 and 5 replicate: (13500/3) + 5 topics.
+    assert replicated == len(workload.specs_of_category(2)) + 5

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fail-over drill: what happens to latency when the Primary dies?
+
+Reproduces the paper's Fig. 9 story on one workload: crash the Primary
+mid-run under FRAME and under FCFS− (no dispatch-replicate coordination)
+and compare the recovery latency spike.  FRAME's Backup Buffer is pruned
+online, so recovery re-dispatches almost nothing; FCFS− must clear a full
+buffer of stale copies and stalls fresh traffic behind it.
+
+Run:  python examples/failover_drill.py
+"""
+
+from repro import FCFS_MINUS, FRAME, ExperimentSettings, run_experiment, to_ms
+
+
+def drill(policy, seed=3):
+    settings = ExperimentSettings(
+        policy=policy, paper_total=7525, scale=0.1, seed=seed,
+        crash_at=6.0, traced_categories=(0, 2, 5),
+    )
+    return run_experiment(settings)
+
+
+def main() -> None:
+    print("Crash drill at 7525 topics: FRAME vs FCFS- (no coordination)\n")
+    for policy in (FRAME, FCFS_MINUS):
+        result = drill(policy)
+        backup = result.backup_broker.stats
+        print(f"--- {policy.name} ---")
+        print(f"  crash at {result.crash_time:.2f}s, promoted "
+              f"+{1000 * (backup.promotion_time - result.crash_time):.0f} ms later")
+        print(f"  backup buffer at recovery: {backup.recovery_skipped} pruned copies "
+              f"skipped, {backup.recovery_dispatch_jobs} re-dispatched")
+        for category, label in ((0, "emergency (50 ms)"), (2, "monitor (100 ms)"),
+                                (5, "cloud log (500 ms)")):
+            trace = result.trace_of_category(category)
+            crash = result.crash_time
+            before = max((t.latency for t in trace
+                          if t.received_true_time < crash), default=float("nan"))
+            after = max((t.latency for t in trace
+                         if t.received_true_time >= crash), default=float("nan"))
+            spec = result.topic_spec(result.traced_topic_by_category[category])
+            losses = result.topic_total_losses(spec)
+            print(f"  {label:<20} peak before {to_ms(before):7.1f} ms | "
+                  f"peak after {to_ms(after):7.1f} ms | losses {losses}")
+        print()
+
+    print("Takeaway: both configurations lose nothing, but without pruning the")
+    print("recovery spike is roughly an order of magnitude taller - the cost of")
+    print("re-dispatching a Backup Buffer full of already-delivered copies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Wind-farm IIoT scenario: differentiation under heavy sensor load.
+
+The paper's motivating deployment (Fig. 1): a wind farm's sensors publish
+through edge brokers; emergency topics need tens-of-milliseconds latency
+and zero loss, monitoring topics tolerate a few losses, and logging goes
+to the cloud.  This example loads the brokers close to their capacity and
+shows why differentiation matters: FRAME meets every class, while the
+undifferentiated FCFS baseline collapses across the board.
+
+Run:  python examples/iiot_factory.py
+"""
+
+from repro import FCFS, FRAME, ExperimentSettings, run_experiment
+
+WORKLOAD = 7525   # the paper's first overload point for FCFS
+
+
+def describe(policy) -> dict:
+    settings = ExperimentSettings(policy=policy, paper_total=WORKLOAD,
+                                  scale=0.1, seed=7, crash_at=None)
+    result = run_experiment(settings)
+    return {
+        "latency": result.latency_success_by_row(),
+        "utils": result.utilizations(),
+        "replicated": result.primary_broker.stats.replicated,
+        "dispatched": result.primary_broker.stats.dispatched,
+    }
+
+
+def main() -> None:
+    rows = [
+        ((50.0, 0), "emergency stop     (50 ms, lose none)"),
+        ((50.0, 3), "emergency sensors  (50 ms, lose <= 3)"),
+        ((100.0, 0), "turbine monitors   (100 ms, lose none)"),
+        ((100.0, 3), "vibration sensors  (100 ms, lose <= 3)"),
+        ((100.0, float("inf")), "dashboards         (100 ms, best effort)"),
+        ((500.0, 0), "cloud audit log    (500 ms, lose none)"),
+    ]
+    print(f"Wind farm with {WORKLOAD} topics, fault-free operation.\n")
+    outcomes = {}
+    for policy in (FRAME, FCFS):
+        print(f"running {policy.name} ...")
+        outcomes[policy.name] = describe(policy)
+
+    print(f"\n{'application class':<42} {'FRAME':>8} {'FCFS':>8}")
+    for key, label in rows:
+        frame_rate = 100 * outcomes["FRAME"]["latency"][key]
+        fcfs_rate = 100 * outcomes["FCFS"]["latency"][key]
+        print(f"{label:<42} {frame_rate:>7.1f}% {fcfs_rate:>7.1f}%")
+
+    frame, fcfs = outcomes["FRAME"], outcomes["FCFS"]
+    print(f"\nWhy: FCFS replicates every one of {fcfs['dispatched']} messages "
+          f"({fcfs['replicated']} replications) and saturates Message Delivery "
+          f"({100 * fcfs['utils']['primary_delivery']:.0f} % of 2 cores).")
+    print(f"FRAME's Proposition 1 replicates only the classes that need it "
+          f"({frame['replicated']} replications) and runs at "
+          f"{100 * frame['utils']['primary_delivery']:.0f} % - with identical "
+          f"fault-tolerance guarantees.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Three wind farms, one private cloud: multi-edge FRAME (paper Fig. 1).
+
+Each edge runs its own complete FRAME deployment (publisher proxies,
+Primary/Backup brokers, local subscribers, PTP domain); all edges' logging
+topics flow to one shared cloud subscriber.  The drill kills edge 0's
+Primary mid-run and shows that fail-over stays local: the other edges'
+guarantees are untouched and the cloud keeps receiving everyone's logs.
+
+Run:  python examples/multi_edge_farm.py
+"""
+
+from dataclasses import replace
+
+from repro import FRAME, ExperimentSettings
+from repro.experiments.multi_edge import run_multi_edge
+
+NUM_EDGES = 3
+
+
+def main() -> None:
+    settings = ExperimentSettings(policy=FRAME, paper_total=1525, scale=0.05,
+                                  seed=11, crash_at=5.0)
+    print(f"Running {NUM_EDGES} edges x {settings.paper_total} topics; "
+          f"killing edge 0's Primary at t={settings.warmup + settings.crash_at:.0f}s ...\n")
+    result = run_multi_edge(settings, num_edges=NUM_EDGES, crash_edge=0)
+
+    for index, edge in enumerate(result.edges):
+        loss = edge.loss_success_by_row()
+        all_met = all(rate == 1.0 for rate in loss.values())
+        if edge.crash_time is not None:
+            promotion = edge.backup_broker.stats.promotion_time
+            status = (f"CRASHED at {edge.crash_time:.1f}s, promoted "
+                      f"+{1000 * (promotion - edge.crash_time):.0f} ms later")
+        else:
+            status = "healthy (no fail-over events)"
+        print(f"edge {index}: {status}")
+        print(f"         all loss-tolerance requirements met: {all_met}")
+
+    print("\nShared cloud subscriber received, per edge:")
+    for index, count in result.cloud_topics_received().items():
+        print(f"  edge {index}: {count} logging messages")
+    duplicates = result.cloud_stats.duplicates
+    print(f"  (duplicates suppressed at the cloud: {duplicates})")
+
+    print("\nTakeaway: a broker failure is an edge-local event; the other")
+    print("edges and the shared cloud never notice it.")
+
+
+if __name__ == "__main__":
+    main()

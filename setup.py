@@ -1,0 +1,6 @@
+"""Shim so that legacy editable installs work in offline environments
+(no ``wheel`` package available, so PEP 517 editable builds fail)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""FRAME: Fault Tolerant and Real-Time Messaging for Edge Computing.
+
+A complete reproduction of the ICDCS 2019 paper (Wang, Gill, Lu): the
+timing model (Lemmas 1-2, Proposition 1, admission test), the FRAME broker
+architecture (EDF Job Queue, selective replication, dispatch-replicate
+coordination, recovery pruning), a deterministic discrete-event testbed
+substituting for the paper's hardware, a wall-clock asyncio runtime, and
+a benchmark harness regenerating every table and figure in the paper's
+evaluation.
+
+Quick start::
+
+    from repro import ExperimentSettings, FRAME, run_experiment
+
+    result = run_experiment(ExperimentSettings(policy=FRAME,
+                                               paper_total=1525,
+                                               crash_at=6.0))
+    print(result.loss_success_by_row())
+
+See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from repro.analysis import plan_capacity, predict_utilization
+from repro.core import (
+    CLOUD,
+    EDGE,
+    FCFS,
+    FCFS_MINUS,
+    FRAME,
+    FRAME_PLUS,
+    LOSS_UNBOUNDED,
+    AdmissionResult,
+    ConfigPolicy,
+    DeadlineParameters,
+    Message,
+    TopicSpec,
+    admission_test,
+    deadline_order,
+    dispatch_deadline,
+    min_retention,
+    needs_replication,
+    replication_deadline,
+)
+from repro.core.policy import DISK_LOG, EXTENDED_POLICIES, policy_by_name
+from repro.core.units import ms, to_ms, us
+from repro.experiments.runner import ExperimentSettings, RunResult, run_experiment
+from repro.workloads.spec import PAPER_WORKLOADS, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionResult",
+    "DISK_LOG",
+    "EXTENDED_POLICIES",
+    "plan_capacity",
+    "policy_by_name",
+    "predict_utilization",
+    "CLOUD",
+    "ConfigPolicy",
+    "DeadlineParameters",
+    "EDGE",
+    "ExperimentSettings",
+    "FCFS",
+    "FCFS_MINUS",
+    "FRAME",
+    "FRAME_PLUS",
+    "LOSS_UNBOUNDED",
+    "Message",
+    "PAPER_WORKLOADS",
+    "RunResult",
+    "TopicSpec",
+    "admission_test",
+    "build_workload",
+    "deadline_order",
+    "dispatch_deadline",
+    "min_retention",
+    "ms",
+    "needs_replication",
+    "replication_deadline",
+    "run_experiment",
+    "to_ms",
+    "us",
+]

@@ -1,0 +1,20 @@
+"""The endpoints of the messaging system: publishers, subscribers, detectors.
+
+Publishers are proxies for collections of IIoT devices (paper Sec. III-B):
+each aggregates several topics of equal period and sends one message per
+topic per period in a batch.  Subscribers receive pushes, deduplicate by
+``(topic, seq)``, and account latency/loss.  Failure detectors drive both
+publisher fail-over and Backup promotion.
+"""
+
+from repro.actors.detector import FailureDetector
+from repro.actors.publisher import PublisherProxy, PublisherStats
+from repro.actors.subscriber import Subscriber, SubscriberStats
+
+__all__ = [
+    "FailureDetector",
+    "PublisherProxy",
+    "PublisherStats",
+    "Subscriber",
+    "SubscriberStats",
+]

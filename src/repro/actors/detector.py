@@ -1,0 +1,86 @@
+"""Ping/pong failure detection (paper Sec. IV-A: "periodic polling").
+
+The detector sends a :class:`~repro.core.protocol.Ping` to the target's
+control address every ``poll_interval`` and waits ``reply_timeout`` for the
+matching :class:`~repro.core.protocol.Pong`.  After ``miss_threshold``
+consecutive timeouts it declares the target dead and invokes the supplied
+callback exactly once.
+
+Worst-case detection latency (from the crash instant) is::
+
+    poll_interval + miss_threshold * max(poll_interval, reply_timeout)
+
+so the caller picks parameters that keep publisher fail-over within the
+configured ``x`` bound (Lemma 1 depends on it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.protocol import Ping, Pong
+from repro.sim.process import AnyOf, Signal, Timeout
+
+
+class FailureDetector:
+    """Polls one target and fires a callback on suspected failure."""
+
+    def __init__(self, engine, host, network, name: str, target_ctl_address: str,
+                 on_failure: Callable[[], None], poll_interval: float,
+                 reply_timeout: float, miss_threshold: int = 2):
+        if reply_timeout <= 0 or poll_interval <= 0:
+            raise ValueError("poll_interval and reply_timeout must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.engine = engine
+        self.host = host
+        self.network = network
+        self.name = name
+        self.target_ctl_address = target_ctl_address
+        self.on_failure = on_failure
+        self.poll_interval = poll_interval
+        self.reply_timeout = reply_timeout
+        self.miss_threshold = miss_threshold
+
+        self.address = f"{name}/detector"
+        self.suspected_at: Optional[float] = None
+        self._nonce = 0
+        self._pending: Optional[Signal] = None
+        network.register(host, self.address, self._on_pong)
+        self.process = engine.spawn(self._run(), name=name, host=host)
+
+    def worst_case_detection(self) -> float:
+        """Upper bound on crash-to-callback latency (excluding link delay)."""
+        return self.poll_interval + self.miss_threshold * max(
+            self.poll_interval, self.reply_timeout
+        )
+
+    # ------------------------------------------------------------------
+    def _on_pong(self, pong: Pong) -> None:
+        if self._pending is not None and pong.nonce == self._nonce:
+            pending, self._pending = self._pending, None
+            pending.fire(pong)
+
+    def _run(self):
+        misses = 0
+        while True:
+            self._nonce += 1
+            self._pending = Signal(self.engine)
+            sent_at = self.engine.now
+            self.network.send(self.host, self.target_ctl_address,
+                              Ping(self.address, self._nonce))
+            index, _ = yield AnyOf(self.engine,
+                                   [self._pending, Timeout(self.reply_timeout)])
+            if index == 0:
+                misses = 0
+            else:
+                self._pending = None
+                misses += 1
+                if misses >= self.miss_threshold:
+                    self.suspected_at = self.engine.now
+                    self.on_failure()
+                    return
+            elapsed = self.engine.now - sent_at
+            remaining = self.poll_interval - elapsed
+            if remaining > 0:
+                yield Timeout(remaining)

@@ -1,0 +1,162 @@
+"""Publisher proxies (paper Sec. III-B, VI).
+
+A proxy aggregates a set of topics of equal period and, once per period,
+creates one message per topic and sends the batch to the *current* Primary
+(paper: "Each proxy sent messages in a batch, one message per topic").
+
+Fault tolerance on the publisher side:
+
+* a **Retention Buffer** per topic keeps the ``Ni`` latest messages,
+* a :class:`~repro.actors.detector.FailureDetector` watches the Primary;
+  on suspicion the proxy redirects its traffic to the Backup and re-sends
+  every retained message (the fail-over path of Fig. 4).  The detector's
+  worst-case detection time plus one link delay must stay within the
+  configured fail-over bound ``x`` — the proxy asserts this at set-up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.actors.detector import FailureDetector
+from repro.core.buffers import RingBuffer
+from repro.core.model import Message, TopicSpec
+from repro.core.protocol import PublishBatch
+from repro.sim.process import Timeout
+from repro.sim.trace import trace
+
+
+class PublisherStats:
+    """Authoritative creation log: per topic, the true creation times.
+
+    ``created[topic_id][seq - 1]`` is the engine (true) time at which the
+    message with that sequence number was created; the metrics layer joins
+    this against subscriber records to find losses.
+    """
+
+    def __init__(self):
+        self.created: Dict[int, List[float]] = {}
+        self.batches_sent = 0
+        self.resends = 0
+        self.failover_at: Optional[float] = None
+
+    def log_creation(self, topic_id: int, true_time: float) -> int:
+        """Record a creation; returns the assigned sequence number (1-based)."""
+        log = self.created.setdefault(topic_id, [])
+        log.append(true_time)
+        return len(log)
+
+    def merge(self, other: "PublisherStats") -> None:
+        for topic_id, log in other.created.items():
+            if topic_id in self.created:
+                raise ValueError(f"topic {topic_id} logged by two publishers")
+            self.created[topic_id] = log
+        self.batches_sent += other.batches_sent
+        self.resends += other.resends
+
+
+class PublisherProxy:
+    """One publisher host process aggregating equal-period topics."""
+
+    def __init__(self, engine, host, network, publisher_id: str,
+                 specs: Sequence[TopicSpec], primary_ingress: str,
+                 backup_ingress: str, failover_bound: float,
+                 detector_poll: float, detector_timeout: float,
+                 detector_misses: int = 2, start_offset: float = 0.0,
+                 jitter_fraction: float = 0.01,
+                 arrival_model=None,
+                 stats: Optional[PublisherStats] = None,
+                 payload_size: int = 16):
+        specs = list(specs)
+        if not specs:
+            raise ValueError("a proxy needs at least one topic")
+        periods = {spec.period for spec in specs}
+        if len(periods) > 1:
+            raise ValueError(
+                f"proxy {publisher_id}: topics must share one period, got {periods}"
+            )
+        self.engine = engine
+        self.host = host
+        self.network = network
+        self.publisher_id = publisher_id
+        self.specs = specs
+        self.period = specs[0].period
+        self.payload_size = payload_size
+        self.jitter_fraction = jitter_fraction
+        if arrival_model is None:
+            from repro.workloads.arrivals import PeriodicJitter
+
+            arrival_model = PeriodicJitter(jitter_fraction)
+        self.arrival_model = arrival_model
+        self.start_offset = start_offset
+        self.stats = stats if stats is not None else PublisherStats()
+        self._targets = [primary_ingress, backup_ingress]
+        self._target_index = 0
+        self._retention = {spec.topic_id: RingBuffer(spec.retention) for spec in specs}
+        self._rng = engine.rng(f"publisher/{publisher_id}")
+
+        detector = FailureDetector(
+            engine, host, network, name=f"{publisher_id}",
+            target_ctl_address=self._ctl_of(primary_ingress),
+            on_failure=self._fail_over,
+            poll_interval=detector_poll, reply_timeout=detector_timeout,
+            miss_threshold=detector_misses,
+        )
+        # Lemma 1 relies on the fail-over time bound x: refuse configurations
+        # whose detector cannot honor it (1 ms margin for link + send time).
+        if detector.worst_case_detection() + 1e-3 > failover_bound:
+            raise ValueError(
+                f"proxy {publisher_id}: detector worst case "
+                f"{detector.worst_case_detection():.4f}s exceeds failover bound "
+                f"{failover_bound:.4f}s"
+            )
+        self.detector = detector
+        self.process = engine.spawn(self._run(), name=f"pub/{publisher_id}", host=host)
+
+    @staticmethod
+    def _ctl_of(ingress_address: str) -> str:
+        broker_name, _, _ = ingress_address.rpartition("/")
+        return f"{broker_name}/ctl"
+
+    @property
+    def current_target(self) -> str:
+        return self._targets[self._target_index]
+
+    # ------------------------------------------------------------------
+    def _create_batch(self) -> List[Message]:
+        batch = []
+        created_at = self.host.now()
+        true_time = self.engine.now
+        for spec in self.specs:
+            seq = self.stats.log_creation(spec.topic_id, true_time)
+            message = Message(spec.topic_id, seq, created_at,
+                              payload_size=self.payload_size)
+            self._retention[spec.topic_id].append(message)
+            batch.append(message)
+        return batch
+
+    def _run(self):
+        if self.start_offset > 0:
+            yield Timeout(self.start_offset)
+        while True:
+            batch = self._create_batch()
+            self.network.send(self.host, self.current_target,
+                              PublishBatch(self.publisher_id, batch))
+            self.stats.batches_sent += 1
+            # Sporadic traffic: inter-creation time is at least the period
+            # (Sec. III-A); the arrival model decides the idle excess.
+            yield Timeout(self.arrival_model.next_gap(self._rng, self.period))
+
+    # ------------------------------------------------------------------
+    def _fail_over(self) -> None:
+        """Redirect to the Backup and re-send all retained messages."""
+        self._target_index = 1
+        self.stats.failover_at = self.engine.now
+        trace(self.engine, "failover", self.publisher_id)
+        retained: List[Message] = []
+        for spec in self.specs:
+            retained.extend(self._retention[spec.topic_id].snapshot())
+        if retained:
+            self.network.send(self.host, self.current_target,
+                              PublishBatch(self.publisher_id, retained, resend=True))
+            self.stats.resends += len(retained)

@@ -1,0 +1,87 @@
+"""Subscribers: receive pushes, deduplicate, and account latency.
+
+Duplicates arise during fail-over (a message can reach a subscriber both
+from the old Primary and via recovery/resend through the new one); the
+paper discards them by sequence number and so do we, before any metric is
+computed.
+
+End-to-end latency is measured as ``local receive time - message creation
+stamp`` across two different host clocks, exactly like the testbed; clock
+synchronization error is therefore part of the measurement, not hidden.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set
+
+from repro.core.protocol import Deliver
+
+
+class TracedDelivery(NamedTuple):
+    """One delivery of a traced topic (for the Fig. 8/9 time series)."""
+
+    seq: int
+    received_true_time: float
+    latency: float          # end-to-end, by host clocks
+    delta_bs: float         # broker dispatch -> subscriber receive
+    recovered: bool
+
+
+class SubscriberStats:
+    """Per-topic delivery records of one subscriber."""
+
+    def __init__(self, traced_topics: Iterable[int] = ()):
+        self.latency_by_seq: Dict[int, Dict[int, float]] = {}
+        self.duplicates = 0
+        self.traced_topics: Set[int] = set(traced_topics)
+        self.traces: Dict[int, List[TracedDelivery]] = {
+            topic: [] for topic in self.traced_topics
+        }
+
+    def delivered_seqs(self, topic_id: int) -> Set[int]:
+        return set(self.latency_by_seq.get(topic_id, ()))
+
+    def merge(self, other: "SubscriberStats") -> None:
+        for topic_id, records in other.latency_by_seq.items():
+            if topic_id in self.latency_by_seq:
+                raise ValueError(f"topic {topic_id} recorded by two subscribers")
+            self.latency_by_seq[topic_id] = records
+        self.duplicates += other.duplicates
+        self.traced_topics |= other.traced_topics
+        for topic_id, trace in other.traces.items():
+            self.traces.setdefault(topic_id, []).extend(trace)
+
+
+class Subscriber:
+    """One subscriber host endpoint for a set of topics."""
+
+    def __init__(self, engine, host, network, name: str,
+                 stats: Optional[SubscriberStats] = None,
+                 traced_topics: Iterable[int] = ()):
+        self.engine = engine
+        self.host = host
+        self.network = network
+        self.name = name
+        self.address = f"{name}/sub"
+        self.stats = stats if stats is not None else SubscriberStats(traced_topics)
+        network.register(host, self.address, self._on_deliver)
+
+    def _on_deliver(self, deliver: Deliver) -> None:
+        message = deliver.message
+        records = self.stats.latency_by_seq.setdefault(message.topic_id, {})
+        if message.seq in records:
+            self.stats.duplicates += 1
+            return
+        received_at = self.host.now()
+        latency = received_at - message.created_at
+        records[message.seq] = latency
+        if message.topic_id in self.stats.traced_topics:
+            self.stats.traces[message.topic_id].append(
+                TracedDelivery(
+                    seq=message.seq,
+                    received_true_time=self.engine.now,
+                    latency=latency,
+                    delta_bs=received_at - deliver.dispatched_at,
+                    recovered=deliver.recovered,
+                )
+            )

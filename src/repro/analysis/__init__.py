@@ -1,0 +1,36 @@
+"""Analytic capacity planning for FRAME deployments.
+
+Closed-form utilization predictions for each broker module under each
+configuration policy — the model behind DESIGN.md §5's calibration,
+exposed as a library API so operators can size deployments *before*
+running them.  The test suite validates these predictions against the
+simulator to within a few percent.
+"""
+
+from repro.analysis.capacity import (
+    CapacityPlan,
+    CapacityReport,
+    ModuleDemand,
+    plan_capacity,
+    predict_utilization,
+)
+from repro.analysis.schedulability import (
+    SchedulabilityVerdict,
+    SporadicTask,
+    check_topic_set,
+    delivery_task_set,
+    edf_schedulability,
+)
+
+__all__ = [
+    "CapacityPlan",
+    "CapacityReport",
+    "ModuleDemand",
+    "SchedulabilityVerdict",
+    "SporadicTask",
+    "check_topic_set",
+    "delivery_task_set",
+    "edf_schedulability",
+    "plan_capacity",
+    "predict_utilization",
+]

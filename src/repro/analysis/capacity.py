@@ -1,0 +1,190 @@
+"""Closed-form module-utilization model and admission planning.
+
+For a topic set with aggregate message rate ``lambda`` and replicated-topic
+rate ``rho`` (the topics FRAME actually replicates under Proposition 1),
+per-module CPU demand is:
+
+* Message Proxy (Primary):   ``lambda * c_p``
+* Message Delivery (Primary):
+    - FRAME:   ``lambda * c_d + rho * (c_r + c_c)``
+    - FRAME+:  ``lambda * c_d`` (retention bonus removes all replication)
+    - FCFS:    ``lambda * (c_d + c_r + c_c)`` (replicate + coordinate all)
+    - FCFS−:   ``lambda * (c_d + c_r)`` (no coordination)
+* Message Proxy (Backup):    ``replica_rate * c_store + prune_rate * c_prune``
+
+These are *offered demands*; utilization is demand capped at module
+capacity.  The model is linear (no contention term), which matches the
+simulator by construction and the paper's testbed up to the saturation
+knee (see EXPERIMENTS.md, known deviations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.core.config import CostModel
+from repro.core.model import TopicSpec
+from repro.core.policy import ConfigPolicy
+from repro.core.timing import DeadlineParameters, admission_test, needs_replication
+
+
+@dataclass(frozen=True)
+class ModuleDemand:
+    """Offered demand and capacity of one broker module (in cores)."""
+
+    name: str
+    demand: float
+    capacity: float
+
+    @property
+    def utilization(self) -> float:
+        """Realized busy fraction of the module (demand capped at 1.0)."""
+        return min(self.demand, self.capacity) / self.capacity
+
+    @property
+    def overloaded(self) -> bool:
+        return self.demand > self.capacity
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Predicted per-module demands for one (topic set, policy) pair."""
+
+    policy_name: str
+    message_rate: float
+    replicated_rate: float
+    modules: Tuple[ModuleDemand, ...]
+
+    def module(self, name: str) -> ModuleDemand:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(name)
+
+    @property
+    def feasible(self) -> bool:
+        """True when no module is driven past its capacity."""
+        return self.feasible_with(headroom=0.0)
+
+    def feasible_with(self, headroom: float) -> bool:
+        """Feasible with ``headroom`` spare capacity on every module.
+
+        Production deployments should plan with headroom: a module at
+        99.9 % of capacity is one background-load burst away from missing
+        deadlines (exactly the bimodality the paper's 13525-topic CIs
+        show).
+        """
+        if not 0.0 <= headroom < 1.0:
+            raise ValueError("headroom must be in [0, 1)")
+        limit = 1.0 - headroom
+        return all(module.demand <= limit * module.capacity
+                   for module in self.modules)
+
+    @property
+    def bottleneck(self) -> ModuleDemand:
+        """The module closest to (or deepest past) saturation."""
+        return max(self.modules, key=lambda m: m.demand / m.capacity)
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Admission + capacity verdict for a whole deployment."""
+
+    plan: CapacityPlan
+    admitted: int
+    rejected: Tuple[Tuple[int, str], ...]   # (topic_id, reason)
+
+    @property
+    def deployable(self) -> bool:
+        return self.plan.feasible and not self.rejected
+
+
+def _rates(specs: Iterable[TopicSpec], policy: ConfigPolicy,
+           params: DeadlineParameters) -> Tuple[float, float]:
+    """(aggregate message rate, rate of topics the policy replicates)."""
+    specs = list(policy.adjust_specs(list(specs)))
+    message_rate = sum(1.0 / spec.period for spec in specs)
+    if not policy.replication_enabled:
+        replicated_rate = 0.0
+    elif policy.selective_replication:
+        replicated_rate = sum(1.0 / spec.period for spec in specs
+                              if needs_replication(spec, params))
+    else:
+        replicated_rate = message_rate
+    return message_rate, replicated_rate
+
+
+def predict_utilization(specs: Iterable[TopicSpec], policy: ConfigPolicy,
+                        params: DeadlineParameters, costs: CostModel,
+                        delivery_workers: int = 2) -> CapacityPlan:
+    """Predict per-module demand for a topic set under a policy."""
+    specs = list(specs)
+    message_rate, replicated_rate = _rates(specs, policy, params)
+    proxy_demand = message_rate * costs.proxy_per_message
+    dispatch_demand = message_rate * costs.dispatch
+    if policy.coordination:
+        replication_demand = replicated_rate * (costs.replicate + costs.coordinate)
+    else:
+        replication_demand = replicated_rate * costs.replicate
+    delivery_demand = dispatch_demand + replication_demand
+    if policy.disk_logging:
+        # Synchronous journal writes block delivery workers (I/O wait);
+        # they consume delivery *capacity* even though they burn no CPU.
+        delivery_demand += message_rate * costs.disk_write
+    backup_demand = replicated_rate * costs.backup_store
+    if policy.coordination:
+        backup_demand += replicated_rate * costs.backup_prune
+    return CapacityPlan(
+        policy_name=policy.name,
+        message_rate=message_rate,
+        replicated_rate=replicated_rate,
+        modules=(
+            ModuleDemand("primary_proxy", proxy_demand, 1.0),
+            ModuleDemand("primary_delivery", delivery_demand,
+                         float(delivery_workers)),
+            ModuleDemand("backup_proxy", backup_demand, 1.0),
+        ),
+    )
+
+
+def plan_capacity(specs: Iterable[TopicSpec], policy: ConfigPolicy,
+                  params: DeadlineParameters, costs: CostModel,
+                  delivery_workers: int = 2) -> CapacityReport:
+    """Full deployment check: per-topic admission plus module capacity.
+
+    A deployment is *deployable* when every topic passes the Sec. III-D.1
+    admission test (after the policy's retention adjustment) and no broker
+    module is driven past saturation.
+    """
+    specs = list(specs)
+    adjusted = policy.adjust_specs(specs)
+    rejected: List[Tuple[int, str]] = []
+    for spec in adjusted:
+        verdict = admission_test(spec, params)
+        if not verdict.admitted:
+            rejected.append((spec.topic_id, verdict.reason))
+    plan = predict_utilization(specs, policy, params, costs,
+                               delivery_workers=delivery_workers)
+    return CapacityReport(plan=plan, admitted=len(adjusted) - len(rejected),
+                          rejected=tuple(rejected))
+
+
+def max_admissible_workload(make_specs, policy: ConfigPolicy,
+                            params: DeadlineParameters, costs: CostModel,
+                            candidates: Iterable[int],
+                            delivery_workers: int = 2,
+                            headroom: float = 0.0) -> int:
+    """Largest workload size from ``candidates`` that stays deployable.
+
+    ``make_specs(size)`` must return the topic set for a candidate size
+    (e.g. ``lambda n: build_workload(n).specs``); ``headroom`` reserves
+    spare capacity on every module.  Returns 0 when none fit.
+    """
+    best = 0
+    for size in sorted(candidates):
+        report = plan_capacity(make_specs(size), policy, params, costs,
+                               delivery_workers=delivery_workers)
+        if report.plan.feasible_with(headroom) and not report.rejected:
+            best = size
+    return best

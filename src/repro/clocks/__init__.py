@@ -1,0 +1,20 @@
+"""Clock substrate: per-host drifting clocks plus sync protocols.
+
+The paper's testbed synchronizes the edge hosts with PTPd (error within
+0.05 ms) and the cloud subscriber with chrony/NTP (millisecond error).
+End-to-end latency is measured across hosts with these imperfect clocks,
+so the measurement error must exist in the reproduction too — this package
+provides it.
+"""
+
+from repro.clocks.clock import Clock, attach_clock
+from repro.clocks.sync import NTP_CLOUD, PTP_EDGE, ClockSyncService, SyncProfile
+
+__all__ = [
+    "Clock",
+    "ClockSyncService",
+    "NTP_CLOUD",
+    "PTP_EDGE",
+    "SyncProfile",
+    "attach_clock",
+]

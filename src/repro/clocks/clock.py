@@ -1,0 +1,52 @@
+"""A per-host clock with offset and frequency drift.
+
+Local time is modeled as::
+
+    local(t) = t + offset + drift_ppm * 1e-6 * (t - reference)
+
+where ``t`` is true (engine) time and ``reference`` is the instant of the
+last correction.  Sync protocols periodically *step* the clock: they reset
+``offset`` to a small residual error and move ``reference`` forward, so
+drift only accumulates between corrections — the standard behavior of a
+stepping PTP/NTP daemon.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """One host's local clock."""
+
+    __slots__ = ("engine", "offset", "drift_ppm", "reference")
+
+    def __init__(self, engine, offset: float = 0.0, drift_ppm: float = 0.0):
+        self.engine = engine
+        self.offset = offset
+        self.drift_ppm = drift_ppm
+        self.reference = engine.now
+
+    def now(self) -> float:
+        """The local clock reading at the current true time."""
+        t = self.engine.now
+        return t + self.offset + self.drift_ppm * 1e-6 * (t - self.reference)
+
+    def error(self) -> float:
+        """Current deviation from true time (positive = clock is ahead)."""
+        return self.now() - self.engine.now
+
+    def step_to_error(self, residual_error: float) -> None:
+        """Step-correct the clock so its error becomes ``residual_error``.
+
+        Called by sync protocols; the residual models the protocol's
+        synchronization error bound.
+        """
+        t = self.engine.now
+        self.offset = residual_error
+        self.reference = t
+
+
+def attach_clock(host, offset: float = 0.0, drift_ppm: float = 0.0) -> Clock:
+    """Create a clock for ``host`` and attach it (see ``Host.now``)."""
+    clock = Clock(host.engine, offset=offset, drift_ppm=drift_ppm)
+    host.clock = clock
+    return clock

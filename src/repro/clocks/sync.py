@@ -1,0 +1,80 @@
+"""Clock synchronization services (PTP-like and NTP-like).
+
+A :class:`ClockSyncService` periodically step-corrects follower clocks
+toward the master clock, leaving a residual error sampled uniformly within
+the profile's error bound.  Two stock profiles match the paper's setup
+(Sec. VI-A):
+
+* :data:`PTP_EDGE` — 1 s sync interval, ±0.05 ms residual (PTPd on the LAN),
+* :data:`NTP_CLOUD` — 16 s sync interval, ±2 ms residual (chrony to EC2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.units import ms
+from repro.sim.process import Timeout
+
+
+@dataclass(frozen=True)
+class SyncProfile:
+    """Error/interval characteristics of one sync protocol deployment."""
+
+    name: str
+    interval: float        # seconds between corrections
+    error_bound: float     # |residual error| after a correction
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValueError("sync interval must be positive")
+        if self.error_bound < 0:
+            raise ValueError("error bound must be >= 0")
+
+
+PTP_EDGE = SyncProfile(name="ptp-edge", interval=1.0, error_bound=ms(0.05))
+NTP_CLOUD = SyncProfile(name="ntp-cloud", interval=16.0, error_bound=ms(2.0))
+
+
+class ClockSyncService:
+    """Periodically synchronizes follower hosts' clocks to a master host.
+
+    The master's own clock is the reference (the paper synchronizes every
+    host to the Primary broker's clock), so followers converge to the
+    master's time *including* the master's own drift — exactly what PTP
+    does with a free-running grandmaster.
+    """
+
+    def __init__(self, engine, master_host, followers: Sequence, profile: SyncProfile,
+                 rng_stream: str = "clock-sync"):
+        self.engine = engine
+        self.master_host = master_host
+        self.followers = list(followers)
+        self.profile = profile
+        self._rng = engine.rng(rng_stream)
+        for follower in self.followers:
+            if follower.clock is None:
+                raise ValueError(f"host {follower.name} has no clock attached")
+        self.process = engine.spawn(self._run(), name=f"sync/{profile.name}")
+
+    def _correct_once(self) -> None:
+        master_error = (
+            self.master_host.clock.error() if self.master_host.clock is not None else 0.0
+        )
+        for follower in self.followers:
+            if not follower.alive:
+                continue
+            residual = self._rng.uniform(-self.profile.error_bound,
+                                         self.profile.error_bound)
+            follower.clock.step_to_error(master_error + residual)
+
+    def _run(self):
+        # An immediate first correction models daemons that are already
+        # converged when the experiment's warm-up ends.
+        self._correct_once()
+        while True:
+            yield Timeout(self.profile.interval)
+            if not self.master_host.alive:
+                return  # the reference is gone; clocks free-run from here
+            self._correct_once()

@@ -1,0 +1,58 @@
+"""FRAME's core: the paper's primary contribution.
+
+Subpackages:
+
+* :mod:`repro.core.model` — topics, messages, requirement specs (Sec. III-A/B).
+* :mod:`repro.core.timing` — Lemmas 1 and 2, Proposition 1, the admission
+  test, and the deadline-ordering analysis of Sec. III-D.
+* :mod:`repro.core.buffers` — the Message / Backup / Retention ring buffers.
+* :mod:`repro.core.scheduling` — dispatch/replicate jobs and the EDF Job Queue.
+* :mod:`repro.core.coordination` — the dispatch-replicate coordination flags
+  and algorithm of Table 3.
+* :mod:`repro.core.policy` — the four evaluated configurations (FRAME,
+  FRAME+, FCFS, FCFS−).
+* :mod:`repro.core.broker` — the broker engine (Message Proxy, Job
+  Generator, Message Delivery, fault recovery) of Fig. 4.
+"""
+
+from repro.core.model import (
+    CLOUD,
+    EDGE,
+    LOSS_UNBOUNDED,
+    Message,
+    TopicSpec,
+)
+from repro.core.policy import FCFS, FCFS_MINUS, FRAME, FRAME_PLUS, ConfigPolicy
+from repro.core.timing import (
+    AdmissionResult,
+    DeadlineParameters,
+    admission_test,
+    deadline_order,
+    dispatch_deadline,
+    min_retention,
+    needs_replication,
+    replication_deadline,
+    replication_suppressible,
+)
+
+__all__ = [
+    "AdmissionResult",
+    "CLOUD",
+    "ConfigPolicy",
+    "DeadlineParameters",
+    "EDGE",
+    "FCFS",
+    "FCFS_MINUS",
+    "FRAME",
+    "FRAME_PLUS",
+    "LOSS_UNBOUNDED",
+    "Message",
+    "TopicSpec",
+    "admission_test",
+    "deadline_order",
+    "dispatch_deadline",
+    "min_retention",
+    "needs_replication",
+    "replication_deadline",
+    "replication_suppressible",
+]

@@ -1,0 +1,415 @@
+"""The FRAME broker engine (paper Fig. 4, Sec. IV).
+
+One :class:`Broker` instance plays either role:
+
+* **Primary** — its Message Proxy stamps arrivals, copies messages into
+  the Message Buffer and generates dispatch/replication jobs with absolute
+  deadlines ``tp + Dd_i`` / ``tp + Dr_i`` (Sec. IV-A); the Message
+  Delivery module's worker pool pops jobs in EDF order, pushes messages to
+  subscribers, replicates to the Backup, and runs the dispatch-replicate
+  coordination of Table 3.
+* **Backup** — its Message Proxy stores incoming replicas in the Backup
+  Buffer and applies prune directives; on promotion it re-dispatches every
+  non-discarded copy and from then on behaves as a Primary (with no
+  further replication — the system tolerates one broker failure).
+
+CPU is modeled by charging each operation its :class:`~repro.core.config.
+CostModel` demand on the owning module: the Message Proxy owns one core,
+Message Delivery owns ``delivery_workers`` cores, as in the paper's
+testbed pinning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.coordination import (
+    MessageBuffer,
+    MessageEntry,
+    should_abort_replication,
+    should_cancel_pending_replication,
+    should_request_prune,
+)
+from repro.core.buffers import BackupBuffer
+from repro.core.model import Message
+from repro.core.policy import ARRIVAL_ORDER
+from repro.core.protocol import Deliver, Ping, Pong, Prune, PublishBatch, Replica
+from repro.core.scheduling import DISPATCH, REPLICATE, EDFJobQueue, Job
+from repro.core.timing import (
+    needs_replication,
+    pseudo_dispatch_deadline,
+    pseudo_replication_deadline,
+)
+from repro.sim.monitor import UtilizationMeter
+from repro.sim.process import Queue, Timeout
+from repro.sim.trace import trace
+
+PRIMARY = "primary"
+BACKUP = "backup"
+
+# Proxy work-item tags.
+_BATCH = 0
+_REPLICA = 1
+_PRUNE = 2
+_RECOVERY = 3
+
+
+class BrokerStats:
+    """Operation counters and per-module CPU meters of one broker."""
+
+    def __init__(self, name: str, delivery_workers: int):
+        self.proxy_meter = UtilizationMeter(f"{name}/proxy", capacity=1.0)
+        self.delivery_meter = UtilizationMeter(f"{name}/delivery",
+                                               capacity=float(delivery_workers))
+        # Worker time spent blocked on synchronous journal writes (the
+        # disk strategy).  Not CPU, but it consumes delivery capacity.
+        self.disk_meter = UtilizationMeter(f"{name}/disk",
+                                           capacity=float(delivery_workers))
+        self.disk_writes = 0
+        self.dispatched = 0
+        self.dispatch_duplicates = 0
+        self.replicated = 0
+        self.replications_aborted = 0
+        self.replications_cancelled = 0
+        self.prunes_sent = 0
+        self.prunes_applied = 0
+        self.replicas_stored = 0
+        self.recovery_dispatch_jobs = 0
+        self.recovery_skipped = 0
+        self.resend_messages = 0
+        self.resend_skipped = 0
+        self.promotion_time: Optional[float] = None
+
+    def set_window(self, t0: float, t1: float) -> None:
+        self.proxy_meter.set_window(t0, t1)
+        self.delivery_meter.set_window(t0, t1)
+        self.disk_meter.set_window(t0, t1)
+
+
+class Broker:
+    """One broker host's FRAME middleware stack."""
+
+    def __init__(self, engine, host, network, config: SystemConfig, name: str,
+                 role: str, peer_name: Optional[str] = None):
+        if role not in (PRIMARY, BACKUP):
+            raise ValueError(f"unknown role {role!r}")
+        self.engine = engine
+        self.host = host
+        self.network = network
+        self.config = config
+        self.name = name
+        self.role = role
+        self.peer_name = peer_name
+
+        self.ingress_address = f"{name}/ingress"
+        self.replica_address = f"{name}/replica"
+        self.ctl_address = f"{name}/ctl"
+        self._peer_replica_address = f"{peer_name}/replica" if peer_name else None
+
+        self.stats = BrokerStats(name, config.delivery_workers)
+        self.message_buffer = MessageBuffer()
+        self.backup_buffer = BackupBuffer(config.backup_buffer_capacity)
+        self.job_queue = EDFJobQueue(engine)
+        self._proxy_queue = Queue(engine)
+        self._fifo = config.policy.scheduling == ARRIVAL_ORDER
+        self._plan = self._build_plan()
+
+        network.register(host, self.ingress_address, self._on_ingress)
+        network.register(host, self.replica_address, self._on_replica_path)
+        network.register(host, self.ctl_address, self._on_ctl)
+
+        engine.spawn(self._proxy_process(), name=f"{name}/proxy", host=host)
+        for index in range(config.delivery_workers):
+            engine.spawn(self._delivery_worker(), name=f"{name}/delivery-{index}",
+                         host=host)
+
+    # ------------------------------------------------------------------
+    # Initialization: pseudo deadlines and the replication plan (Sec. IV-A)
+    # ------------------------------------------------------------------
+    def _build_plan(self) -> Dict[int, Tuple[float, Optional[float]]]:
+        """Per topic: ``(Dd_i', Dr_i' or None when replication is suppressed)``."""
+        plan: Dict[int, Tuple[float, Optional[float]]] = {}
+        policy = self.config.policy
+        params = self.config.params
+        for topic_id, spec in self.config.topics.items():
+            pseudo_dd = pseudo_dispatch_deadline(spec, params)
+            if not policy.replication_enabled:
+                wants = False  # non-replicating strategies (e.g. disk logging)
+            elif policy.selective_replication:
+                wants = needs_replication(spec, params)
+            else:
+                wants = True  # no differentiation: the baselines replicate everything
+            pseudo_dr = pseudo_replication_deadline(spec, params) if wants else None
+            plan[topic_id] = (pseudo_dd, pseudo_dr)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Network-facing callbacks (zero CPU: NIC/kernel path)
+    # ------------------------------------------------------------------
+    def _on_ingress(self, batch: PublishBatch) -> None:
+        self._proxy_queue.put((_BATCH, batch, self.host.now()))
+
+    def _on_replica_path(self, item) -> None:
+        if isinstance(item, Replica):
+            self._proxy_queue.put((_REPLICA, item, self.host.now()))
+        elif isinstance(item, Prune):
+            self._proxy_queue.put((_PRUNE, item, self.host.now()))
+        else:
+            raise TypeError(f"unexpected replica-path item {item!r}")
+
+    def _on_ctl(self, ping: Ping) -> None:
+        # The liveness responder runs at interrupt priority (no modeled
+        # cost): an overloaded but live broker must not be declared dead.
+        self.network.send(self.host, ping.reply_to, Pong(ping.nonce))
+
+    # ------------------------------------------------------------------
+    # Message Proxy module (one core)
+    # ------------------------------------------------------------------
+    def _proxy_process(self):
+        costs = self.config.costs
+        meter = self.stats.proxy_meter
+        while True:
+            kind, item, stamped_at = yield self._proxy_queue.get()
+            if kind == _BATCH:
+                work = costs.proxy_per_message * len(item.messages)
+                yield from self._busy(meter, work)
+                if item.resend:
+                    self._ingest_resend(item, stamped_at)
+                else:
+                    self._ingest_batch(item, stamped_at)
+            elif kind == _REPLICA:
+                yield from self._busy(meter, costs.backup_store)
+                self.backup_buffer.store(item.message, stamped_at)
+                self.stats.replicas_stored += 1
+            elif kind == _PRUNE:
+                yield from self._busy(meter, costs.backup_prune)
+                if self.backup_buffer.prune(item.topic_id, item.seq):
+                    self.stats.prunes_applied += 1
+            elif kind == _RECOVERY:
+                yield from self._recover()
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown proxy item kind {kind}")
+
+    def _busy(self, meter: UtilizationMeter, cost: float):
+        start = self.engine.now
+        yield Timeout(cost)
+        meter.add_busy(start, self.engine.now)
+
+    # ------------------------------------------------------------------
+    # Job Generator (runs on the proxy core)
+    # ------------------------------------------------------------------
+    def _ingest_batch(self, batch: PublishBatch, arrived_at: float) -> None:
+        for message in batch.messages:
+            self._generate_jobs(message, arrived_at)
+
+    def _generate_jobs(self, message: Message, arrived_at: float) -> None:
+        plan = self._plan.get(message.topic_id)
+        if plan is None:
+            return  # unknown topic: not admitted, drop
+        pseudo_dd, pseudo_dr = plan
+        can_replicate = self._peer_replica_address is not None
+        entry = self.message_buffer.insert(
+            message, arrived_at, wants_replication=pseudo_dr is not None and can_replicate
+        )
+        if self._fifo:
+            dispatch_deadline = arrived_at
+            replicate_deadline = arrived_at
+        else:
+            delta_pb = max(0.0, arrived_at - message.created_at)
+            dispatch_deadline = arrived_at + (pseudo_dd - delta_pb)
+            replicate_deadline = (
+                arrived_at + (pseudo_dr - delta_pb) if pseudo_dr is not None else 0.0
+            )
+        costs = self.config.costs
+        dispatch_job = Job(DISPATCH, entry, dispatch_deadline, costs.dispatch)
+        entry.dispatch_job = dispatch_job
+        if not entry.wants_replication:
+            self.job_queue.push(dispatch_job)
+            return
+        replicate_job = Job(REPLICATE, entry, replicate_deadline, costs.replicate)
+        entry.replicate_job = replicate_job
+        # Push in execution-priority order: when workers are idle, push
+        # order decides who runs first, so it must agree with the queue's
+        # ordering (EDF by deadline; the FCFS baselines replicate first).
+        replicate_first = (self.config.policy.replicate_before_dispatch
+                           or replicate_deadline <= dispatch_deadline)
+        if replicate_first:
+            self.job_queue.push(replicate_job)
+            self.job_queue.push(dispatch_job)
+        else:
+            self.job_queue.push(dispatch_job)
+            self.job_queue.push(replicate_job)
+
+    def _ingest_resend(self, batch: PublishBatch, arrived_at: float) -> None:
+        """Handle the retained messages a publisher re-sends at fail-over.
+
+        Copies whose Backup Buffer entry carries ``Discard`` are known to
+        have been dispatched by the old Primary and are skipped; copies
+        already ingested (e.g. via recovery) are skipped; the rest are
+        dispatched like fresh arrivals (subscribers dedup any leftovers).
+        """
+        for message in batch.messages:
+            self.stats.resend_messages += 1
+            backup_entry = self.backup_buffer.get(message.topic_id, message.seq)
+            if backup_entry is not None and backup_entry.discard:
+                self.stats.resend_skipped += 1
+                continue
+            if self.message_buffer.get(message.topic_id, message.seq) is not None:
+                self.stats.resend_skipped += 1
+                continue
+            self._generate_jobs(message, arrived_at)
+
+    # ------------------------------------------------------------------
+    # Message Delivery module (worker pool on dedicated cores)
+    # ------------------------------------------------------------------
+    def _delivery_worker(self):
+        costs = self.config.costs
+        meter = self.stats.delivery_meter
+        coordination = self.config.policy.coordination
+        while True:
+            job = yield self.job_queue.pop()
+            entry: MessageEntry = job.entry
+            if job.kind == DISPATCH:
+                if entry.dispatched:
+                    self.stats.dispatch_duplicates += 1
+                    continue
+                if self.config.policy.disk_logging and not job.recovery:
+                    # Table 1's "local disk" strategy: journal synchronously
+                    # before dispatch.  Blocks this worker (I/O wait, not
+                    # CPU) — the capacity cost the paper alludes to.
+                    yield from self._busy(self.stats.disk_meter, costs.disk_write)
+                    self.stats.disk_writes += 1
+                yield from self._busy(meter, costs.dispatch)
+                self._push_to_subscribers(entry, recovered=job.recovery)
+                entry.dispatched = True
+                self.stats.dispatched += 1
+                trace(self.engine, "dispatch", self.name, entry.message.key())
+                if should_cancel_pending_replication(entry, coordination):
+                    self.job_queue.cancel(entry.replicate_job)
+                    self.stats.replications_cancelled += 1
+                if should_request_prune(entry, coordination) and self._peer_replica_address:
+                    yield from self._busy(meter, costs.coordinate)
+                    self.network.send(self.host, self._peer_replica_address,
+                                      Prune(entry.message.topic_id, entry.message.seq))
+                    self.stats.prunes_sent += 1
+                self.message_buffer.release_if_settled(entry)
+            elif job.kind == REPLICATE:
+                if should_abort_replication(entry, coordination):
+                    self.stats.replications_aborted += 1
+                    trace(self.engine, "replicate-abort", self.name,
+                          entry.message.key())
+                    self.message_buffer.release_if_settled(entry)
+                    continue
+                yield from self._busy(meter, costs.replicate)
+                if self._peer_replica_address is not None:
+                    self.network.send(self.host, self._peer_replica_address,
+                                      Replica(entry.message, entry.arrived_at))
+                entry.replicated = True
+                self.stats.replicated += 1
+                trace(self.engine, "replicate", self.name, entry.message.key())
+                if (coordination and entry.dispatched
+                        and self._peer_replica_address is not None):
+                    # The message was dispatched while this replication was
+                    # in flight (two workers raced): discard the now-stale
+                    # copy so recovery will not re-send it.
+                    yield from self._busy(meter, costs.coordinate)
+                    self.network.send(self.host, self._peer_replica_address,
+                                      Prune(entry.message.topic_id, entry.message.seq))
+                    self.stats.prunes_sent += 1
+                self.message_buffer.release_if_settled(entry)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown job kind {job.kind}")
+
+    def _push_to_subscribers(self, entry: MessageEntry, recovered: bool) -> None:
+        message = entry.message
+        deliver = Deliver(message, dispatched_at=self.engine.now, recovered=recovered)
+        for address in self.config.subscribers_of(message.topic_id):
+            self.network.send(self.host, address, deliver)
+
+    # ------------------------------------------------------------------
+    # Re-protection (extension beyond the paper's one-failure model)
+    # ------------------------------------------------------------------
+    def attach_peer(self, peer_name: str, resync: bool = True) -> None:
+        """Re-enable replication toward a (new) Backup broker.
+
+        The paper's model tolerates exactly one broker failure: after
+        promotion the survivor runs unreplicated.  This extension restores
+        protection by pointing the Primary at a freshly provisioned Backup.
+        With ``resync`` (default), replication jobs are created for every
+        in-flight message of a replication-needing topic that has not yet
+        been dispatched — dispatched messages need no replica (Table 3's
+        own argument), so the new Backup converges by just absorbing the
+        ongoing replication stream.
+        """
+        if self.role != PRIMARY:
+            raise RuntimeError("only a Primary can attach a Backup")
+        self.peer_name = peer_name
+        self._peer_replica_address = f"{peer_name}/replica"
+        if not resync:
+            return
+        costs = self.config.costs
+        for entry in list(self.message_buffer._entries.values()):
+            if entry.dispatched or entry.replicated:
+                continue
+            pseudo_dd, pseudo_dr = self._plan.get(entry.message.topic_id,
+                                                  (None, None))
+            if pseudo_dr is None:
+                continue
+            entry.wants_replication = True
+            if entry.replicate_job is not None and not entry.replicate_job.cancelled:
+                continue  # already queued
+            if self._fifo:
+                deadline = entry.arrived_at
+            else:
+                delta_pb = max(0.0, entry.arrived_at - entry.message.created_at)
+                deadline = entry.arrived_at + (pseudo_dr - delta_pb)
+            job = Job(REPLICATE, entry, deadline, costs.replicate)
+            entry.replicate_job = job
+            self.job_queue.push(job)
+
+    # ------------------------------------------------------------------
+    # Fault recovery (Sec. IV-A, Table 3 "Recovery")
+    # ------------------------------------------------------------------
+    def promote(self) -> None:
+        """Become the new Primary (called by the promotion detector).
+
+        Recovery work — selecting non-discarded Backup Buffer copies and
+        turning them into dispatch jobs — is queued onto the Message Proxy
+        so its CPU demand is accounted for like any other proxy work.
+        """
+        if self.role == PRIMARY:
+            return
+        self.role = PRIMARY
+        self._peer_replica_address = None  # one-failure model: no further replication
+        self.stats.promotion_time = self.engine.now
+        trace(self.engine, "promote", self.name)
+        self._proxy_queue.put((_RECOVERY, None, self.engine.now))
+
+    def _recover(self):
+        costs = self.config.costs
+        meter = self.stats.proxy_meter
+        for backup_entry in list(self.backup_buffer.all_entries()):
+            if backup_entry.discard:
+                yield from self._busy(meter, costs.recovery_skip)
+                self.stats.recovery_skipped += 1
+                continue
+            yield from self._busy(meter, costs.recovery_select)
+            message = backup_entry.message
+            if self.message_buffer.get(message.topic_id, message.seq) is not None:
+                continue  # already re-ingested (e.g. resend raced ahead)
+            pseudo_dd, _ = self._plan.get(message.topic_id, (None, None))
+            if pseudo_dd is None:
+                continue
+            entry = self.message_buffer.insert(message, backup_entry.arrived_at,
+                                               wants_replication=False)
+            if self._fifo:
+                deadline = backup_entry.arrived_at
+            else:
+                # "dPB is increased according to the arrival time of the
+                # copy": the end-to-end budget keeps running from creation.
+                deadline = message.created_at + pseudo_dd
+            job = Job(DISPATCH, entry, deadline, costs.dispatch, recovery=True)
+            entry.dispatch_job = job
+            self.job_queue.push(job)
+            self.stats.recovery_dispatch_jobs += 1

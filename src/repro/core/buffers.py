@@ -1,0 +1,140 @@
+"""The three ring buffers of the FRAME architecture (Fig. 4).
+
+* **Retention Buffer** (publisher side): the last ``Ni`` messages of each
+  topic, re-sent to the Backup during fail-over.
+* **Message Buffer** (Primary side): per-message coordination entries with
+  the Table 3 flags; entries are released once the message needs no more
+  work.
+* **Backup Buffer** (Backup side): a bounded ring of message copies per
+  topic with the ``Discard`` flag; only non-discarded copies are
+  re-dispatched during recovery.
+
+The paper implements all three as ring buffers; we keep that discipline
+(bounded per-topic capacity, oldest evicted first) because the *size* of
+the Backup Buffer is load-bearing for Fig. 9: without coordination the
+recovery work is lower-bounded by the ring size.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.core.model import Message
+
+
+class RingBuffer:
+    """A bounded FIFO ring of messages (the publisher Retention Buffer).
+
+    Appending beyond capacity evicts the oldest item.  Capacity 0 is legal
+    and models a publisher with no retention (``Ni = 0``).
+    """
+
+    __slots__ = ("capacity", "_items")
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[Message] = deque(maxlen=capacity if capacity > 0 else 1)
+        if capacity == 0:
+            self._items = deque(maxlen=0)
+
+    def append(self, message: Message) -> None:
+        self._items.append(message)
+
+    def snapshot(self) -> List[Message]:
+        """The retained messages, oldest first."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._items)
+
+
+class BackupEntry:
+    """One message copy held by the Backup, with its ``Discard`` flag."""
+
+    __slots__ = ("message", "arrived_at", "discard")
+
+    def __init__(self, message: Message, arrived_at: float):
+        self.message = message
+        self.arrived_at = arrived_at
+        self.discard = False
+
+
+class BackupBuffer:
+    """Per-topic bounded rings of replicated message copies (Backup side).
+
+    ``store`` inserts a copy (evicting the oldest copy of that topic when
+    the ring is full); ``prune`` implements the coordination directive that
+    sets ``Discard`` on a copy whose original has been dispatched.  Pruned
+    entries stay in the ring (a flag flip is cheaper and matches Table 3,
+    whose recovery step *skips* discarded copies rather than expecting them
+    gone).
+    """
+
+    def __init__(self, capacity_per_topic: int):
+        if capacity_per_topic <= 0:
+            raise ValueError("backup buffer capacity must be positive")
+        self.capacity_per_topic = capacity_per_topic
+        self._rings: Dict[int, OrderedDict] = {}
+
+    def store(self, message: Message, arrived_at: float) -> BackupEntry:
+        ring = self._rings.get(message.topic_id)
+        if ring is None:
+            ring = OrderedDict()
+            self._rings[message.topic_id] = ring
+        if message.seq in ring:
+            # Duplicate replica (possible during fail-over races): refresh.
+            entry = ring[message.seq]
+            entry.arrived_at = arrived_at
+            return entry
+        while len(ring) >= self.capacity_per_topic:
+            ring.popitem(last=False)
+        entry = BackupEntry(message, arrived_at)
+        ring[message.seq] = entry
+        return entry
+
+    def prune(self, topic_id: int, seq: int) -> bool:
+        """Set ``Discard`` on the copy of ``(topic, seq)``.
+
+        Returns ``False`` when the copy is absent (already evicted or never
+        replicated) — the directive is then a no-op, which is safe: absent
+        copies cannot be re-dispatched anyway.
+        """
+        ring = self._rings.get(topic_id)
+        if ring is None:
+            return False
+        entry = ring.get(seq)
+        if entry is None:
+            return False
+        entry.discard = True
+        return True
+
+    def entries(self, topic_id: int) -> List[BackupEntry]:
+        """All copies of a topic, oldest first (discarded ones included)."""
+        ring = self._rings.get(topic_id)
+        if ring is None:
+            return []
+        return list(ring.values())
+
+    def all_entries(self) -> Iterator[BackupEntry]:
+        """Every stored copy across topics, oldest first within each topic."""
+        for topic_id in sorted(self._rings):
+            yield from self._rings[topic_id].values()
+
+    def live_count(self) -> int:
+        """Number of non-discarded copies (what recovery must re-dispatch)."""
+        return sum(1 for entry in self.all_entries() if not entry.discard)
+
+    def total_count(self) -> int:
+        return sum(len(ring) for ring in self._rings.values())
+
+    def get(self, topic_id: int, seq: int) -> Optional[BackupEntry]:
+        ring = self._rings.get(topic_id)
+        if ring is None:
+            return None
+        return ring.get(seq)

@@ -1,0 +1,112 @@
+"""System-wide configuration for a FRAME deployment.
+
+Bundles everything a broker needs at initialization (paper Sec. IV-A):
+the topic specifications, the per-subscriber network estimates that feed
+the pseudo deadlines, the evaluated policy, the service-cost model of the
+broker modules, and the subscription map.
+
+The :class:`CostModel` is the calibrated substitute for the paper's
+i5-4590 broker hosts (see DESIGN.md §5): per-message CPU demands chosen so
+that the overload crossovers land at the same workloads as the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.model import TopicSpec
+from repro.core.policy import ConfigPolicy, FRAME
+from repro.core.timing import DeadlineParameters
+from repro.core.units import us
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-item CPU service demands of the broker modules (seconds).
+
+    The ``calibrated`` constructor scales demands inversely with the
+    workload scale factor so that module utilization matches paper-scale
+    runs (DESIGN.md §5).
+    """
+
+    proxy_per_message: float       # Message Proxy + Job Generator, per message
+    dispatch: float                # Dispatcher, per message
+    replicate: float               # Replicator, per message
+    coordinate: float              # prune request after dispatch (coordination)
+    backup_store: float            # Backup proxy, per replica stored
+    backup_prune: float            # Backup proxy, per prune applied
+    recovery_skip: float           # per discarded copy skipped at recovery
+    recovery_select: float         # per live copy turned into a recovery job
+    disk_write: float = 0.0        # synchronous journal write (disk strategies)
+
+    @classmethod
+    def calibrated(cls, scale: float = 1.0) -> "CostModel":
+        """Demands calibrated for paper-scale (``scale=1``) workloads.
+
+        With ``scale < 1`` the sensor-topic counts shrink by ``scale`` and
+        demands grow by ``1/scale``, preserving utilization.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        factor = 1.0 / scale
+        return cls(
+            proxy_per_message=us(6.5) * factor,
+            dispatch=us(7.5) * factor,
+            replicate=us(5.0) * factor,
+            coordinate=us(14.9) * factor,
+            backup_store=us(7.0) * factor,
+            backup_prune=us(4.0) * factor,
+            recovery_skip=us(1.0) * factor,
+            recovery_select=us(7.0) * factor,
+            disk_write=us(12.0) * factor,
+        )
+
+    def scaled(self, factor: float) -> "CostModel":
+        """All demands multiplied by ``factor``.
+
+        Used to apply per-run background OS load: the paper's testbed runs
+        near the capacity knee at the highest workload, where a few percent
+        of competing load decides whether a run degrades — that is what
+        produces Table 4/5's wide confidence intervals at 13525 topics.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return CostModel(
+            proxy_per_message=self.proxy_per_message * factor,
+            dispatch=self.dispatch * factor,
+            replicate=self.replicate * factor,
+            coordinate=self.coordinate * factor,
+            backup_store=self.backup_store * factor,
+            backup_prune=self.backup_prune * factor,
+            recovery_skip=self.recovery_skip * factor,
+            recovery_select=self.recovery_select * factor,
+            disk_write=self.disk_write * factor,
+        )
+
+
+@dataclass
+class SystemConfig:
+    """Everything the brokers and actors need to run one deployment."""
+
+    topics: Dict[int, TopicSpec]
+    policy: ConfigPolicy = FRAME
+    params: DeadlineParameters = field(default_factory=DeadlineParameters)
+    costs: CostModel = field(default_factory=CostModel.calibrated)
+    subscriptions: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    backup_buffer_capacity: int = 10
+    delivery_workers: int = 2      # cores dedicated to Message Delivery
+
+    def subscribers_of(self, topic_id: int) -> Tuple[str, ...]:
+        return self.subscriptions.get(topic_id, ())
+
+    @staticmethod
+    def from_specs(specs: List[TopicSpec], **kwargs) -> "SystemConfig":
+        """Build a config from a topic list, applying the policy's
+        retention adjustment (FRAME+ raises ``Ni`` for selected categories)."""
+        policy = kwargs.get("policy", FRAME)
+        adjusted = policy.adjust_specs(specs)
+        topics = {spec.topic_id: spec for spec in adjusted}
+        if len(topics) != len(adjusted):
+            raise ValueError("duplicate topic ids in spec list")
+        return SystemConfig(topics=topics, **kwargs)

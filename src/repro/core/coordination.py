@@ -1,0 +1,112 @@
+"""Dispatch-replicate coordination state (paper Table 3 and Sec. IV-B).
+
+Each message passing through the Primary owns a :class:`MessageEntry` in
+the Message Buffer carrying the three flags of Table 3:
+
+* ``dispatched`` — the message reached (all of) its subscribers,
+* ``replicated`` — a copy reached the Backup,
+* ``discard`` lives on the *Backup's* copy (see
+  :class:`repro.core.buffers.BackupEntry`).
+
+The algorithm itself (abort replication after dispatch, request a prune
+after dispatch of a replicated message, skip discarded copies at recovery)
+is executed by the broker's Message Delivery module; this module provides
+the shared state plus the pure decision functions so they can be tested in
+isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.model import Message
+
+
+class MessageEntry:
+    """Coordination record for one message on the Primary."""
+
+    __slots__ = ("message", "arrived_at", "dispatched", "replicated",
+                 "wants_replication", "replicate_job", "dispatch_job")
+
+    def __init__(self, message: Message, arrived_at: float, wants_replication: bool):
+        self.message = message
+        self.arrived_at = arrived_at
+        self.dispatched = False
+        self.replicated = False
+        self.wants_replication = wants_replication
+        self.replicate_job = None
+        self.dispatch_job = None
+
+    @property
+    def settled(self) -> bool:
+        """True when no further work can involve this entry.
+
+        An entry settles when it has been dispatched and either never
+        wanted replication or its replication already happened or was
+        aborted (job cancelled).
+        """
+        if not self.dispatched:
+            return False
+        if not self.wants_replication:
+            return True
+        if self.replicated:
+            return True
+        job = self.replicate_job
+        return job is None or job.cancelled
+
+
+class MessageBuffer:
+    """The Primary's Message Buffer: coordination entries keyed by message.
+
+    Settled entries are released eagerly so that, unlike a time-based
+    ring, memory tracks the amount of *outstanding* work (which is also
+    what the paper's ring effectively holds under EDF).
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple[int, int], MessageEntry] = {}
+
+    def insert(self, message: Message, arrived_at: float,
+               wants_replication: bool) -> MessageEntry:
+        entry = MessageEntry(message, arrived_at, wants_replication)
+        self._entries[message.key()] = entry
+        return entry
+
+    def get(self, topic_id: int, seq: int) -> Optional[MessageEntry]:
+        return self._entries.get((topic_id, seq))
+
+    def release_if_settled(self, entry: MessageEntry) -> bool:
+        if entry.settled:
+            self._entries.pop(entry.message.key(), None)
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# Pure decision functions (Table 3), unit-testable without a broker
+# ----------------------------------------------------------------------
+def should_abort_replication(entry: MessageEntry, coordination: bool) -> bool:
+    """Replicate, step 1: with coordination on, abort when already dispatched."""
+    return coordination and entry.dispatched
+
+
+def should_request_prune(entry: MessageEntry, coordination: bool) -> bool:
+    """Dispatch, step 3: with coordination on, ask the Backup to discard the
+    copy if one has already been replicated."""
+    return coordination and entry.replicated
+
+
+def should_cancel_pending_replication(entry: MessageEntry, coordination: bool) -> bool:
+    """Sec. IV-B: after dispatch, cancel a still-pending replication job."""
+    if not coordination:
+        return False
+    job = entry.replicate_job
+    return job is not None and not job.cancelled and not entry.replicated
+
+
+def should_skip_at_recovery(discard: bool) -> bool:
+    """Recovery, step 1: skip copies whose ``Discard`` flag is set."""
+    return discard

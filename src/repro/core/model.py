@@ -1,0 +1,117 @@
+"""Topics, messages, and requirement specifications (paper Sec. III-A/B).
+
+A topic ``i`` carries four requirement parameters:
+
+* ``period`` — the minimum inter-creation time ``Ti`` (sporadic traffic),
+* ``deadline`` — the soft end-to-end latency bound ``Di``,
+* ``loss_tolerance`` — ``Li``, the acceptable number of *consecutive*
+  message losses (``LOSS_UNBOUNDED`` encodes ``Li = ∞``, best-effort),
+* ``retention`` — ``Ni``, how many of its latest messages the publisher
+  retains for re-sending during fail-over.
+
+Messages are identified by ``(topic_id, seq)``; sequence numbers are
+assigned by the publisher in creation order, which is what lets subscribers
+detect and count consecutive losses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: Destination of a topic's subscriber(s), which selects the ΔBS estimate.
+EDGE = "edge"
+CLOUD = "cloud"
+
+#: ``Li = ∞``: subscribers ask only for best-effort delivery (category 4).
+LOSS_UNBOUNDED = math.inf
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """Requirement specification of one topic (one row of Table 2).
+
+    All times are in seconds.  ``category`` tags the Table 2 category the
+    topic was generated from (purely informational; the algorithms only
+    look at the four requirement parameters and the destination).
+    """
+
+    topic_id: int
+    period: float                 # Ti
+    deadline: float               # Di
+    loss_tolerance: float         # Li (int >= 0, or LOSS_UNBOUNDED)
+    retention: int                # Ni
+    destination: str = EDGE
+    category: int = -1
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ValueError(f"topic {self.topic_id}: period must be positive")
+        if self.deadline <= 0:
+            raise ValueError(f"topic {self.topic_id}: deadline must be positive")
+        if self.loss_tolerance != LOSS_UNBOUNDED and (
+            self.loss_tolerance < 0 or self.loss_tolerance != int(self.loss_tolerance)
+        ):
+            raise ValueError(
+                f"topic {self.topic_id}: loss tolerance must be a non-negative "
+                f"integer or LOSS_UNBOUNDED"
+            )
+        if self.retention < 0:
+            raise ValueError(f"topic {self.topic_id}: retention must be >= 0")
+        if self.destination not in (EDGE, CLOUD):
+            raise ValueError(f"topic {self.topic_id}: unknown destination {self.destination!r}")
+
+    @property
+    def best_effort(self) -> bool:
+        """True when subscribers only ask for best-effort delivery (Li = ∞)."""
+        return self.loss_tolerance == LOSS_UNBOUNDED
+
+    def with_retention(self, retention: int) -> "TopicSpec":
+        """A copy with a different publisher retention level ``Ni``."""
+        return replace(self, retention=retention)
+
+
+def merged_requirement(spec: TopicSpec,
+                       subscriber_requirements) -> TopicSpec:
+    """Fold multiple subscribers' requirements into one topic spec.
+
+    The paper (Sec. III-B): "For multiple subscribers of the same topic,
+    we choose the highest requirements among the subscribers" — i.e. the
+    tightest deadline and the smallest loss tolerance.
+
+    ``subscriber_requirements`` is an iterable of ``(deadline,
+    loss_tolerance)`` pairs, one per subscriber.
+    """
+    requirements = list(subscriber_requirements)
+    if not requirements:
+        return spec
+    deadline = min([spec.deadline] + [d for d, _ in requirements])
+    loss = min([spec.loss_tolerance] + [l for _, l in requirements])
+    return replace(spec, deadline=deadline, loss_tolerance=loss)
+
+
+class Message:
+    """One published message of a topic.
+
+    ``created_at`` is stamped with the *publisher host's* clock, so clock
+    synchronization error propagates into latency measurements exactly as
+    on the paper's testbed.
+    """
+
+    __slots__ = ("topic_id", "seq", "created_at", "payload_size", "data")
+
+    def __init__(self, topic_id: int, seq: int, created_at: float,
+                 payload_size: int = 16, data: Optional[object] = None):
+        self.topic_id = topic_id
+        self.seq = seq
+        self.created_at = created_at
+        self.payload_size = payload_size
+        self.data = data
+
+    def key(self) -> tuple:
+        """The identity used for dedup and coordination: ``(topic, seq)``."""
+        return (self.topic_id, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Message topic={self.topic_id} seq={self.seq} t={self.created_at:.6f}>"

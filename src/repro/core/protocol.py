@@ -1,0 +1,85 @@
+"""Wire-level message types exchanged between FRAME components.
+
+These model the paper's data/control/failover paths (Fig. 4):
+
+* :class:`PublishBatch` — publisher proxy -> broker ingress (each proxy
+  sends one message per topic per period in a batch; during fail-over the
+  same type carries the retained-message resend, flagged ``resend``).
+* :class:`Deliver` — broker -> subscriber push.
+* :class:`Replica` — Primary -> Backup replication.
+* :class:`Prune` — Primary -> Backup coordination directive (sets the
+  ``Discard`` flag, Table 3 Dispatch step 3).
+* :class:`Ping` / :class:`Pong` — liveness polling used by the Backup's
+  promotion detector and the publishers' fail-over detectors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.model import Message
+
+
+class PublishBatch:
+    """A batch of freshly created (or resent) messages from one proxy."""
+
+    __slots__ = ("publisher_id", "messages", "resend")
+
+    def __init__(self, publisher_id: str, messages: List[Message], resend: bool = False):
+        self.publisher_id = publisher_id
+        self.messages = messages
+        self.resend = resend
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "resend" if self.resend else "batch"
+        return f"<PublishBatch {self.publisher_id} {kind} n={len(self.messages)}>"
+
+
+class Deliver:
+    """A message pushed from a broker to a subscriber."""
+
+    __slots__ = ("message", "dispatched_at", "recovered")
+
+    def __init__(self, message: Message, dispatched_at: float, recovered: bool = False):
+        self.message = message
+        self.dispatched_at = dispatched_at
+        self.recovered = recovered
+
+
+class Replica:
+    """A message copy replicated from the Primary to the Backup."""
+
+    __slots__ = ("message", "primary_arrived_at")
+
+    def __init__(self, message: Message, primary_arrived_at: float):
+        self.message = message
+        self.primary_arrived_at = primary_arrived_at
+
+
+class Prune:
+    """Coordination directive: discard the Backup's copy of ``(topic, seq)``."""
+
+    __slots__ = ("topic_id", "seq")
+
+    def __init__(self, topic_id: int, seq: int):
+        self.topic_id = topic_id
+        self.seq = seq
+
+
+class Ping:
+    """Liveness probe; ``reply_to`` is the prober's own address."""
+
+    __slots__ = ("reply_to", "nonce")
+
+    def __init__(self, reply_to: str, nonce: int):
+        self.reply_to = reply_to
+        self.nonce = nonce
+
+
+class Pong:
+    """Liveness probe response."""
+
+    __slots__ = ("nonce",)
+
+    def __init__(self, nonce: int):
+        self.nonce = nonce

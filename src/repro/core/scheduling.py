@@ -1,0 +1,120 @@
+"""Jobs and the EDF Job Queue (paper Sec. IV-A, Fig. 4).
+
+The Message Proxy's Job Generator turns each message arrival into a
+dispatch job and (when the topic needs it) a replication job, each with an
+absolute deadline ``tp + Dd_i`` / ``tp + Dr_i``.  The Message Delivery
+module's worker threads pop jobs in Earliest-Deadline-First order.
+
+The queue supports **cancellation** (coordination cancels a pending
+replication once its message is dispatched) via lazy deletion, the same
+technique the paper's C++ ``priority_queue`` implementation requires.
+
+For the FCFS baselines the same queue is used with every deadline set to
+the arrival time, which degrades EDF into arrival order — this keeps the
+compared configurations structurally identical, as in the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional
+
+from repro.sim.process import Waitable
+
+DISPATCH = "dispatch"
+REPLICATE = "replicate"
+
+
+class Job:
+    """A unit of Message Delivery work with an absolute EDF deadline."""
+
+    __slots__ = ("kind", "entry", "deadline", "cost", "cancelled", "recovery")
+
+    def __init__(self, kind: str, entry, deadline: float, cost: float,
+                 recovery: bool = False):
+        self.kind = kind
+        self.entry = entry            # MessageEntry (dispatch/replicate) or BackupEntry
+        self.deadline = deadline
+        self.cost = cost
+        self.cancelled = False
+        self.recovery = recovery
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Job {self.kind} ddl={self.deadline:.6f}{flag}>"
+
+
+class _JobGet(Waitable):
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: "EDFJobQueue"):
+        self.queue = queue
+
+    def _subscribe(self, proc) -> None:
+        q = self.queue
+        job = q._pop_live()
+        if job is not None:
+            proc.engine.call_soon(proc._resume, proc._epoch, job)
+        else:
+            q._getters.append((proc, proc._epoch))
+
+
+class EDFJobQueue:
+    """A blocking priority queue of jobs ordered by absolute deadline.
+
+    Ties are broken by push order, which under the FCFS configurations
+    (all deadlines equal to arrival time) yields exact arrival order —
+    including the baselines' replicate-before-dispatch ordering, since the
+    Job Generator pushes the replication job first.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._heap: list = []
+        self._seq = 0
+        self._getters: deque = deque()
+        self._cancelled_in_heap = 0
+
+    # ------------------------------------------------------------------
+    def push(self, job: Job) -> None:
+        if job.cancelled:
+            return
+        while self._getters:
+            proc, epoch = self._getters.popleft()
+            if proc.alive and epoch == proc._epoch:
+                self.engine.call_soon(proc._resume, epoch, job)
+                return
+        self._seq += 1
+        heapq.heappush(self._heap, (job.deadline, self._seq, job))
+
+    def pop(self) -> _JobGet:
+        """Waitable resolving to the earliest-deadline live job."""
+        return _JobGet(self)
+
+    def _pop_live(self) -> Optional[Job]:
+        heap = self._heap
+        while heap:
+            _, _, job = heapq.heappop(heap)
+            if job.cancelled:
+                self._cancelled_in_heap = max(0, self._cancelled_in_heap - 1)
+                continue
+            return job
+        return None
+
+    # ------------------------------------------------------------------
+    def cancel(self, job: Job) -> None:
+        """Lazily cancel a queued job; it will be skipped on pop."""
+        if not job.cancelled:
+            job.cancel()
+            self._cancelled_in_heap += 1
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) queued jobs."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def drained(self) -> bool:
+        return len(self) == 0

@@ -1,0 +1,210 @@
+"""The paper's timing theory (Sec. III-C/D).
+
+Implements, in the paper's notation:
+
+* **Lemma 1** — a sufficient relative deadline for the *replication* job of
+  topic ``i``::
+
+      Dr_i = (Ni + Li) * Ti - dPB - dBB - x
+
+  Meeting ``Dr_i`` guarantees the subscriber never sees more than ``Li``
+  consecutive losses across a Primary crash, given that the publisher
+  re-sends its ``Ni`` retained messages within fail-over time ``x``.
+
+* **Lemma 2** — a sufficient relative deadline for the *dispatch* job::
+
+      Dd_i = Di - dPB - dBS
+
+* **Proposition 1 (selective replication)** — replication of topic ``i``
+  may be suppressed when the system can meet ``Dd_i`` and ``Dd_i <= Dr_i``
+  (a dispatched message no longer needs to be replicated).  The equivalent
+  need-for-replication test is ``x + dBB - dBS > (Ni + Li) * Ti - Di``.
+
+* The **admission test**: both ``Dr_i >= 0`` and ``Dd_i >= 0`` must hold.
+
+The broker precomputes *pseudo* deadlines that leave out ``dPB`` (which is
+only known per message, measured on arrival); the Job Generator subtracts
+the measured ``dPB`` at run time — exactly the split described in
+Sec. IV-A.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.model import CLOUD, EDGE, TopicSpec
+
+
+@dataclass(frozen=True)
+class DeadlineParameters:
+    """The traffic/service parameters that feed Lemmas 1 and 2.
+
+    ``delta_bs`` values are *estimates chosen at configuration time*: for
+    edge subscribers a measured LAN bound, for cloud subscribers a measured
+    **lower bound** (Sec. III-D.5 — a lower bound keeps Proposition 1 safe
+    under cloud latency variation; Fig. 8 validates this).
+    """
+
+    delta_pb: float = 0.0           # publisher -> broker latency bound
+    delta_bb: float = 0.0           # broker -> backup latency bound
+    delta_bs_edge: float = 0.0      # broker -> edge subscriber latency
+    delta_bs_cloud: float = 0.0     # broker -> cloud subscriber latency (lower bound)
+    failover_time: float = 0.0      # x: publisher fail-over time
+
+    def delta_bs(self, destination: str) -> float:
+        if destination == EDGE:
+            return self.delta_bs_edge
+        if destination == CLOUD:
+            return self.delta_bs_cloud
+        raise ValueError(f"unknown destination {destination!r}")
+
+
+# ----------------------------------------------------------------------
+# Lemmas 1 and 2
+# ----------------------------------------------------------------------
+def replication_deadline(spec: TopicSpec, params: DeadlineParameters) -> float:
+    """Lemma 1: relative deadline ``Dr_i`` for the replication job."""
+    return (
+        (spec.retention + spec.loss_tolerance) * spec.period
+        - params.delta_pb
+        - params.delta_bb
+        - params.failover_time
+    )
+
+
+def dispatch_deadline(spec: TopicSpec, params: DeadlineParameters) -> float:
+    """Lemma 2: relative deadline ``Dd_i`` for the dispatch job."""
+    return spec.deadline - params.delta_pb - params.delta_bs(spec.destination)
+
+
+def pseudo_replication_deadline(spec: TopicSpec, params: DeadlineParameters) -> float:
+    """``Dr_i'`` of Sec. IV-A: Lemma 1 without the per-message ``dPB`` term."""
+    return (
+        (spec.retention + spec.loss_tolerance) * spec.period
+        - params.delta_bb
+        - params.failover_time
+    )
+
+
+def pseudo_dispatch_deadline(spec: TopicSpec, params: DeadlineParameters) -> float:
+    """``Dd_i'`` of Sec. IV-A: Lemma 2 without the per-message ``dPB`` term."""
+    return spec.deadline - params.delta_bs(spec.destination)
+
+
+# ----------------------------------------------------------------------
+# Proposition 1 and the replication decision
+# ----------------------------------------------------------------------
+def replication_suppressible(spec: TopicSpec, params: DeadlineParameters) -> bool:
+    """Proposition 1: replication may be suppressed when ``Dd_i <= Dr_i``.
+
+    (The caller is responsible for the other half of the proposition's
+    premise — that the system can actually meet ``Dd_i``, i.e. the topic
+    set passed admission and the system is not overloaded.)
+    """
+    return dispatch_deadline(spec, params) <= replication_deadline(spec, params)
+
+
+def replication_needed_inequality(spec: TopicSpec, params: DeadlineParameters) -> bool:
+    """The paper's equivalent condition for *needing* replication:
+
+    ``x + dBB - dBS > (Ni + Li) * Ti - Di``.
+    """
+    lhs = params.failover_time + params.delta_bb - params.delta_bs(spec.destination)
+    rhs = (spec.retention + spec.loss_tolerance) * spec.period - spec.deadline
+    return lhs > rhs
+
+
+def needs_replication(spec: TopicSpec, params: DeadlineParameters) -> bool:
+    """Whether FRAME creates replication jobs for this topic.
+
+    Best-effort topics (``Li = ∞``) never need replication; otherwise the
+    topic needs replication exactly when Proposition 1 cannot suppress it.
+    """
+    if spec.best_effort:
+        return False
+    return not replication_suppressible(spec, params)
+
+
+# ----------------------------------------------------------------------
+# Admission test (Sec. III-D.1)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of the per-topic admission test."""
+
+    admitted: bool
+    replication_deadline: float   # Dr_i
+    dispatch_deadline: float      # Dd_i
+    reason: str = ""
+
+
+def admission_test(spec: TopicSpec, params: DeadlineParameters) -> AdmissionResult:
+    """Sec. III-D.1: admit a topic iff ``Dr_i >= 0`` and ``Dd_i >= 0``.
+
+    Best-effort topics only need ``Dd_i >= 0`` (there is no replication
+    requirement to violate; ``Dr_i`` is ``+inf`` for them anyway).
+    """
+    dr = replication_deadline(spec, params)
+    dd = dispatch_deadline(spec, params)
+    if dd < 0:
+        return AdmissionResult(False, dr, dd,
+                               "Dd < 0: end-to-end deadline unreachable (Lemma 2)")
+    if dr < 0 and not spec.best_effort:
+        return AdmissionResult(
+            False, dr, dd,
+            "Dr < 0: loss tolerance unreachable (Lemma 1); "
+            "increase retention Ni or loosen Li",
+        )
+    return AdmissionResult(True, dr, dd)
+
+
+def min_retention(spec: TopicSpec, params: DeadlineParameters) -> int:
+    """Smallest ``Ni`` making the topic admissible (Table 2's fifth column).
+
+    Solves ``(Ni + Li) * Ti - dPB - dBB - x >= 0`` for integer ``Ni >= 0``.
+    Raises if the dispatch deadline itself is infeasible (no retention
+    level can fix a violated Lemma 2).
+    """
+    if dispatch_deadline(spec, params) < 0:
+        raise ValueError(
+            f"topic {spec.topic_id}: Dd < 0 regardless of retention "
+            f"(Di={spec.deadline} too tight for its network path)"
+        )
+    if spec.best_effort:
+        return 0
+    overhead = params.delta_pb + params.delta_bb + params.failover_time
+    needed = overhead / spec.period - spec.loss_tolerance
+    return max(0, math.ceil(needed - 1e-12))
+
+
+# ----------------------------------------------------------------------
+# Deadline ordering (Sec. III-D.2)
+# ----------------------------------------------------------------------
+def deadline_order(
+    specs: Iterable[TopicSpec], params: DeadlineParameters
+) -> List[Tuple[str, int, float]]:
+    """The ordering of all dispatch/replication relative deadlines.
+
+    Returns a list of ``(kind, topic_id, deadline)`` sorted ascending,
+    where ``kind`` is ``"dispatch"`` or ``"replicate"``.  Replication
+    entries appear only for topics that need replication, mirroring the
+    discussion in Sec. III-D.2.  Ties keep dispatch before replication and
+    lower topic ids first, so the ordering is total and reproducible.
+    """
+    entries: List[Tuple[str, int, float]] = []
+    for spec in specs:
+        entries.append(("dispatch", spec.topic_id, dispatch_deadline(spec, params)))
+        if needs_replication(spec, params):
+            entries.append(("replicate", spec.topic_id, replication_deadline(spec, params)))
+    kind_rank = {"dispatch": 0, "replicate": 1}
+    entries.sort(key=lambda e: (e[2], kind_rank[e[0]], e[1]))
+    return entries
+
+
+def replication_plan(
+    specs: Iterable[TopicSpec], params: DeadlineParameters
+) -> Dict[int, bool]:
+    """Map ``topic_id -> needs replication`` for a whole topic set."""
+    return {spec.topic_id: needs_replication(spec, params) for spec in specs}

@@ -1,0 +1,27 @@
+"""Time-unit helpers.
+
+Everything inside the library uses **seconds** (floats).  The paper states
+its parameters in milliseconds (Table 2, Sec. III-D), so specs and examples
+use these converters at the boundary rather than sprinkling ``/ 1000``
+around.
+"""
+
+from __future__ import annotations
+
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * MILLISECOND
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def to_ms(seconds: float) -> float:
+    """Seconds to milliseconds (for reporting in the paper's units)."""
+    return seconds / MILLISECOND

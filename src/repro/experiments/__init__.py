@@ -1,0 +1,11 @@
+"""Experiment harness: the paper's evaluation (Tables 4-5, Figs 7-9).
+
+:mod:`repro.experiments.runner` builds the Fig. 6 testbed in simulation
+and runs one ``(policy, workload, seed)`` cell; the per-table modules
+aggregate cells into the paper's tables and figure summaries; the CLI
+(``python -m repro.experiments``) regenerates everything.
+"""
+
+from repro.experiments.runner import ExperimentSettings, RunResult, run_experiment
+
+__all__ = ["ExperimentSettings", "RunResult", "run_experiment"]

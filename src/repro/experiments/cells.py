@@ -1,0 +1,121 @@
+"""Cached experiment cells.
+
+Tables 4/5 and Figs 7/9 share the same ``(policy, workload, seed, fault)``
+cells; this module runs each cell once per process and caches a compact
+summary (success rates, utilizations, trace reductions) instead of the full
+:class:`RunResult`, which holds per-message records and would not fit in
+memory across a whole sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.actors.subscriber import TracedDelivery
+from repro.experiments.runner import ExperimentSettings, RowKey, RunResult, run_experiment
+
+#: Paper row order for Tables 4 and 5: (Di in ms, Li).
+TABLE_ROWS: Tuple[RowKey, ...] = (
+    (50.0, 0), (50.0, 3), (100.0, 0), (100.0, 3), (100.0, float("inf")), (500.0, 0),
+)
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Reduction of one traced topic's delivery series (Fig. 9 panels)."""
+
+    category: int
+    peak_latency_before: float      # max latency before the crash
+    peak_latency_after: float       # max latency at/after the crash
+    total_losses: int
+    max_consecutive_losses: int
+    delivered: int
+    series: Tuple[TracedDelivery, ...] = ()
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """Everything the tables/figures need from one run."""
+
+    policy_name: str
+    paper_total: int
+    seed: int
+    crashed: bool
+    loss_by_row: Dict[RowKey, float]
+    latency_by_row: Dict[RowKey, float]
+    utilizations: Dict[str, float]
+    traces: Dict[int, TraceSummary] = field(default_factory=dict)
+    broker_counters: Dict[str, int] = field(default_factory=dict)
+
+
+def summarize(result: RunResult, keep_series: bool = False) -> CellSummary:
+    """Reduce a :class:`RunResult` to a cacheable summary."""
+    traces: Dict[int, TraceSummary] = {}
+    for category, topic_id in result.traced_topic_by_category.items():
+        series = result.subscriber_stats.traces.get(topic_id, [])
+        crash = result.crash_time if result.crash_time is not None else float("inf")
+        before = [t.latency for t in series if t.received_true_time < crash]
+        after = [t.latency for t in series if t.received_true_time >= crash]
+        spec = result.topic_spec(topic_id)
+        traces[category] = TraceSummary(
+            category=category,
+            peak_latency_before=max(before) if before else float("nan"),
+            peak_latency_after=max(after) if after else float("nan"),
+            total_losses=result.topic_total_losses(spec),
+            max_consecutive_losses=result.topic_max_consecutive_losses(spec),
+            delivered=len(series),
+            series=tuple(series) if keep_series else (),
+        )
+    primary = result.primary_broker.stats
+    backup = result.backup_broker.stats
+    counters = {
+        "primary_dispatched": primary.dispatched,
+        "primary_replicated": primary.replicated,
+        "primary_prunes_sent": primary.prunes_sent,
+        "primary_replications_aborted": primary.replications_aborted,
+        "primary_replications_cancelled": primary.replications_cancelled,
+        "backup_replicas_stored": backup.replicas_stored,
+        "backup_prunes_applied": backup.prunes_applied,
+        "backup_recovery_dispatch_jobs": backup.recovery_dispatch_jobs,
+        "backup_recovery_skipped": backup.recovery_skipped,
+        "backup_resend_messages": backup.resend_messages,
+        "backup_resend_skipped": backup.resend_skipped,
+        "subscriber_duplicates": result.subscriber_stats.duplicates,
+    }
+    return CellSummary(
+        policy_name=result.settings.policy.name,
+        paper_total=result.settings.paper_total,
+        seed=result.settings.seed,
+        crashed=result.crash_time is not None,
+        loss_by_row=result.loss_success_by_row(),
+        latency_by_row=result.latency_success_by_row(),
+        utilizations=result.utilizations(),
+        traces=traces,
+        broker_counters=counters,
+    )
+
+
+_CACHE: Dict[ExperimentSettings, CellSummary] = {}
+
+
+def run_cell(settings: ExperimentSettings, keep_series: bool = False) -> CellSummary:
+    """Run (or recall) one cell.  Cached per settings value."""
+    cached = _CACHE.get(settings)
+    if cached is not None and (not keep_series or _has_series(cached)):
+        return cached
+    summary = summarize(run_experiment(settings), keep_series=keep_series)
+    _CACHE[settings] = summary
+    return summary
+
+
+def _has_series(summary: CellSummary) -> bool:
+    return all(trace.series for trace in summary.traces.values()) or not summary.traces
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)

@@ -1,0 +1,188 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.experiments table4
+    python -m repro.experiments table5 --seeds 10
+    python -m repro.experiments fig9 --workload 7525
+    python -m repro.experiments all --seeds 3 --scale 0.1
+    python -m repro.experiments all --full          # paper-scale (slow!)
+
+``--full`` runs at scale 1.0 with the paper's timing (35 s warm-up, 60 s
+measuring phase); expect hours of wall-clock time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import os
+
+from repro.experiments import ablations, export, figures, tables
+from repro.experiments.runner import ExperimentSettings
+
+
+def _base_settings(args: argparse.Namespace) -> ExperimentSettings:
+    if args.full:
+        return ExperimentSettings(scale=1.0, warmup=35.0, measure=60.0, grace=2.0)
+    return ExperimentSettings(scale=args.scale)
+
+
+def _emit(text: str, out_path: Optional[str]) -> None:
+    print(text)
+    if out_path:
+        with open(out_path, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n\n")
+
+
+def _export(args, name: str, obj) -> None:
+    if args.json_dir:
+        os.makedirs(args.json_dir, exist_ok=True)
+        export.save_json(obj, os.path.join(args.json_dir, f"{name}.json"))
+
+
+def _run_table4(args) -> None:
+    result = tables.table4(seeds=range(args.seeds), settings=_base_settings(args))
+    _emit(result.render(), args.out)
+    _export(args, "table4", export.table_to_dict(result))
+
+
+def _run_table5(args) -> None:
+    result = tables.table5(seeds=range(args.seeds), settings=_base_settings(args))
+    _emit(result.render(), args.out)
+    _export(args, "table5", export.table_to_dict(result))
+
+
+def _run_fig7(args) -> None:
+    result = figures.fig7(seeds=range(args.seeds), settings=_base_settings(args))
+    _emit(result.render(), args.out)
+    _export(args, "fig7", export.fig7_to_dict(result))
+
+
+def _run_fig8(args) -> None:
+    scale = 1.0 if args.full else min(args.scale, 0.05)
+    result = figures.fig8(scale=scale, settings=_base_settings(args))
+    _emit(result.render() + "\n\n" + result.render_chart(), args.out)
+    _export(args, "fig8", export.fig8_to_dict(result))
+
+
+def _run_fig9(args) -> None:
+    result = figures.fig9(paper_total=args.workload, settings=_base_settings(args))
+    charts = "\n\n".join(result.render_chart(policy, 2)
+                         for policy in ("FRAME", "FCFS-"))
+    _emit(result.render() + "\n\n" + charts, args.out)
+    _export(args, "fig9", export.fig9_to_dict(result))
+
+
+def _run_ablations(args) -> None:
+    for lesson in ablations.all_lessons(scale=args.scale, seeds=range(args.seeds)):
+        _emit(lesson.render(), args.out)
+    _emit(ablations.retention_sweep().render(), args.out)
+
+
+def _run_strategies(args) -> None:
+    for result in ablations.table1_strategies(scale=args.scale,
+                                              seeds=range(args.seeds)):
+        _emit(result.render(), args.out)
+
+
+def _run_plan(args) -> None:
+    from repro.analysis import plan_capacity
+    from repro.core.config import CostModel
+    from repro.core.policy import policy_by_name
+    from repro.metrics.report import format_table
+    from repro.workloads.custom import load_topics
+    from repro.workloads.spec import build_workload
+
+    if args.topics:
+        specs = load_topics(args.topics)
+        source = args.topics
+    else:
+        specs = list(build_workload(args.workload, scale=args.scale).specs)
+        source = f"Table 2 workload, {args.workload} topics @ scale {args.scale}"
+    policy = policy_by_name(args.policy)
+    settings = _base_settings(args)
+    report = plan_capacity(specs, policy, settings.deadline_parameters(),
+                           CostModel.calibrated(args.scale if not args.full else 1.0))
+    rows = [[module.name, f"{module.demand:.3f}", f"{module.capacity:.0f}",
+             f"{100 * module.utilization:.1f}%",
+             "OVERLOADED" if module.overloaded else "ok"]
+            for module in report.plan.modules]
+    _emit(format_table(
+        f"Capacity plan: {source} under {policy.name}",
+        ["module", "demand (cores)", "capacity", "utilization", "verdict"],
+        rows), args.out)
+    verdict = "DEPLOYABLE" if report.deployable else "NOT deployable"
+    lines = [f"admitted topics : {report.admitted}",
+             f"rejected topics : {len(report.rejected)}",
+             f"verdict         : {verdict}"]
+    for topic_id, reason in report.rejected[:10]:
+        lines.append(f"  rejected {topic_id}: {reason}")
+    _emit("\n".join(lines), args.out)
+
+
+def _run_all(args) -> None:
+    _run_table4(args)
+    _run_table5(args)
+    _run_fig7(args)
+    _run_fig8(args)
+    _run_fig9(args)
+    _run_ablations(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="frame-experiments",
+        description="Regenerate the FRAME paper's tables and figures.",
+    )
+    parser.add_argument("--seeds", type=int, default=5,
+                        help="repetitions per cell (paper uses 10)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="sensor-topic scale factor (1.0 = paper scale)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale workloads and timing (slow)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="append rendered output to this file")
+    parser.add_argument("--json-dir", type=str, default=None,
+                        help="also write machine-readable JSON exports here")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table4", help="loss-tolerance success rates").set_defaults(
+        func=_run_table4)
+    sub.add_parser("table5", help="latency success rates").set_defaults(
+        func=_run_table5)
+    sub.add_parser("fig7", help="per-module CPU utilization").set_defaults(
+        func=_run_fig7)
+    sub.add_parser("fig8", help="cloud-latency variation micro-benchmark").set_defaults(
+        func=_run_fig8)
+    fig9_parser = sub.add_parser("fig9", help="latency around fault recovery")
+    fig9_parser.add_argument("--workload", type=int, default=7525)
+    fig9_parser.set_defaults(func=_run_fig9)
+    sub.add_parser("ablations", help="the Sec. VI-E lesson ablations").set_defaults(
+        func=_run_ablations)
+    sub.add_parser("strategies",
+                   help="Table 1 loss-tolerance strategies incl. local disk"
+                   ).set_defaults(func=_run_strategies)
+    plan_parser = sub.add_parser(
+        "plan", help="admission + capacity planning (no simulation)")
+    plan_parser.add_argument("--topics", type=str, default=None,
+                             help="JSON topic file (see repro.workloads.custom)")
+    plan_parser.add_argument("--workload", type=int, default=7525,
+                             help="Table 2 workload size when no file given")
+    plan_parser.add_argument("--policy", type=str, default="FRAME")
+    plan_parser.set_defaults(func=_run_plan)
+    all_parser = sub.add_parser("all", help="everything")
+    all_parser.add_argument("--workload", type=int, default=7525)
+    all_parser.set_defaults(func=_run_all)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

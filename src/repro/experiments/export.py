@@ -1,0 +1,109 @@
+"""Serialization of experiment results to JSON and CSV.
+
+Rendered text tables are for humans; these exports are for notebooks and
+plotting front-ends.  Row keys ``(Di, Li)`` serialize as ``{"di_ms": ...,
+"li": ...}`` with ``Li = ∞`` encoded as the string ``"inf"`` (JSON has no
+infinity).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from typing import Any, Dict, List
+
+from repro.experiments.cells import TABLE_ROWS
+from repro.experiments.figures import FIG7_MODULES, Fig7Result, Fig8Result, Fig9Result
+from repro.experiments.tables import TableResult
+
+
+def _row_key_obj(row) -> Dict[str, Any]:
+    di, li = row
+    return {"di_ms": di, "li": "inf" if math.isinf(li) else int(li)}
+
+
+def table_to_dict(result: TableResult) -> Dict[str, Any]:
+    cells: List[Dict[str, Any]] = []
+    for workload in result.workloads:
+        for row in TABLE_ROWS:
+            for policy in result.policies:
+                cell = result.cell(workload, row, policy)
+                cells.append({
+                    "workload": workload,
+                    **_row_key_obj(row),
+                    "policy": policy,
+                    "mean": cell.mean,
+                    "ci95_half_width": cell.half_width,
+                    "paper_mean": cell.paper,
+                })
+    return {"title": result.title, "metric": result.metric, "cells": cells}
+
+
+def fig7_to_dict(result: Fig7Result) -> Dict[str, Any]:
+    points: List[Dict[str, Any]] = []
+    for label, key in FIG7_MODULES:
+        for workload in result.workloads:
+            for policy in result.policies:
+                mean, half = result.utilization[(key, workload, policy)]
+                points.append({
+                    "module": key,
+                    "panel": label,
+                    "workload": workload,
+                    "policy": policy,
+                    "utilization": mean,
+                    "ci95_half_width": half,
+                })
+    return {"title": "fig7", "points": points}
+
+
+def fig8_to_dict(result: Fig8Result) -> Dict[str, Any]:
+    return {
+        "title": "fig8",
+        "setup_delta_bs": result.setup_delta_bs,
+        "min_delta_bs": result.min_delta_bs,
+        "max_delta_bs": result.max_delta_bs,
+        "losses": result.losses,
+        "max_consecutive_losses": result.max_consecutive_losses,
+        "series": [{"time": t, "delta_bs": v} for t, v in result.series],
+    }
+
+
+def fig9_to_dict(result: Fig9Result) -> Dict[str, Any]:
+    panels: List[Dict[str, Any]] = []
+    for policy in result.policies:
+        for category in result.categories:
+            trace = result.trace(policy, category)
+            panels.append({
+                "policy": policy,
+                "category": category,
+                "peak_latency_before": trace.peak_latency_before,
+                "peak_latency_after": trace.peak_latency_after,
+                "total_losses": trace.total_losses,
+                "max_consecutive_losses": trace.max_consecutive_losses,
+                "series": [
+                    {"seq": point.seq, "time": point.received_true_time,
+                     "latency": point.latency, "recovered": point.recovered}
+                    for point in result.series[(policy, category)]
+                ],
+            })
+    return {"title": "fig9", "crash_time": result.crash_time, "panels": panels}
+
+
+def save_json(obj: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(obj, handle, indent=2, allow_nan=True)
+
+
+def table_to_csv(result: TableResult, path: str) -> None:
+    """Flat CSV: one row per (workload, Di, Li, policy) cell."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["workload", "di_ms", "li", "policy", "mean",
+                         "ci95_half_width", "paper_mean"])
+        for cell in table_to_dict(result)["cells"]:
+            writer.writerow([cell["workload"], cell["di_ms"], cell["li"],
+                             cell["policy"], f"{cell['mean']:.6g}",
+                             f"{cell['ci95_half_width']:.6g}",
+                             "" if cell["paper_mean"] is None
+                             else f"{cell['paper_mean']:.6g}"])

@@ -1,0 +1,236 @@
+"""Multi-edge deployments: N edges sharing one cloud (paper Fig. 1).
+
+The paper scopes its evaluation to one edge and one cloud (Sec. I), but
+its architecture figure shows a private cloud serving many edges.  This
+extension instantiates N complete edges — each with its own publisher
+hosts, Primary/Backup broker pair, edge subscribers, PTP domain, and
+fail-over machinery — all delivering their cloud-bound topics to a single
+shared cloud subscriber.
+
+The headline property it demonstrates: **fault isolation**.  Crashing one
+edge's Primary triggers fail-over only within that edge; every other
+edge's topics keep their guarantees untouched, and the cloud keeps
+receiving every edge's logging traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.actors.detector import FailureDetector
+from repro.actors.publisher import PublisherProxy, PublisherStats
+from repro.actors.subscriber import Subscriber, SubscriberStats
+from repro.clocks import PTP_EDGE, ClockSyncService, attach_clock
+from repro.core.broker import BACKUP, PRIMARY, Broker
+from repro.core.config import CostModel, SystemConfig
+from repro.core.model import CLOUD
+from repro.experiments.runner import ExperimentSettings, RunResult
+from repro.net.cloud import CloudLatencyModel
+from repro.net.link import UniformLatency
+from repro.sim.engine import Engine
+from repro.sim.host import Host
+from repro.net.topology import Network
+from repro.workloads.spec import Workload, build_workload
+
+#: Topic-id stride between edges (keeps ids globally unique).
+EDGE_TOPIC_STRIDE = 1_000_000
+
+
+@dataclass
+class MultiEdgeResult:
+    """Per-edge results plus shared-cloud accounting."""
+
+    edges: List[RunResult]
+    cloud_stats: SubscriberStats
+    crashed_edge: Optional[int]
+
+    def edge(self, index: int) -> RunResult:
+        return self.edges[index]
+
+    def cloud_topics_received(self) -> Dict[int, int]:
+        """Per edge: number of cloud-bound messages the shared cloud saw."""
+        received: Dict[int, int] = {}
+        for index, result in enumerate(self.edges):
+            count = 0
+            for spec in result.workload.specs:
+                if spec.destination == CLOUD:
+                    count += len(self.cloud_stats.latency_by_seq.get(
+                        spec.topic_id, {}))
+            received[index] = count
+        return received
+
+
+def _offset_workload(workload: Workload, offset: int) -> Workload:
+    specs = tuple(replace(spec, topic_id=spec.topic_id + offset)
+                  for spec in workload.specs)
+    by_id = {spec.topic_id: spec for spec in specs}
+    proxies = tuple(
+        replace(group,
+                publisher_id=f"e{offset // EDGE_TOPIC_STRIDE}-{group.publisher_id}",
+                specs=tuple(by_id[spec.topic_id + offset] for spec in group.specs))
+        for group in workload.proxies
+    )
+    return replace(workload, specs=specs, proxies=proxies)
+
+
+def run_multi_edge(settings: ExperimentSettings, num_edges: int = 2,
+                   crash_edge: Optional[int] = None) -> MultiEdgeResult:
+    """Run ``num_edges`` complete edges against one shared cloud.
+
+    ``settings.paper_total`` is the per-edge workload; ``crash_edge``
+    (with ``settings.crash_at``) selects which edge's Primary dies.
+    """
+    if num_edges < 1:
+        raise ValueError("need at least one edge")
+    if crash_edge is not None and not 0 <= crash_edge < num_edges:
+        raise ValueError(f"crash_edge {crash_edge} out of range")
+    if crash_edge is not None and settings.crash_at is None:
+        raise ValueError("crash_edge requires settings.crash_at")
+
+    engine = Engine(seed=settings.seed)
+    rng = engine.rng("multi-edge-runner")
+    network = Network(engine)
+    t0 = settings.warmup
+    t_end = settings.warmup + settings.measure
+
+    cloud_host = Host(engine, "cloud-sub")
+    attach_clock(cloud_host, offset=rng.uniform(-5e-3, 5e-3))
+    cloud_subscriber = Subscriber(engine, cloud_host, network, name="cloud-sub")
+    cloud_model = CloudLatencyModel(
+        floor=settings.cloud_floor,
+        diurnal_amplitude=settings.cloud_diurnal_amplitude,
+        jitter_median=settings.cloud_jitter_median,
+        day_length=settings.cloud_day_length,
+        spikes=settings.cloud_spikes,
+    )
+
+    def lan() -> UniformLatency:
+        return UniformLatency(settings.edge_latency_low, settings.edge_latency_high)
+
+    edge_records: List[dict] = []
+    for edge_index in range(num_edges):
+        prefix = f"e{edge_index}"
+        pub_hosts = [Host(engine, f"{prefix}-pub-{i}") for i in range(2)]
+        primary_host = Host(engine, f"{prefix}-primary")
+        backup_host = Host(engine, f"{prefix}-backup")
+        sub_hosts = [Host(engine, f"{prefix}-sub-{i}") for i in range(2)]
+        local_hosts = pub_hosts + [primary_host, backup_host] + sub_hosts
+        for host in local_hosts:
+            attach_clock(host, offset=rng.uniform(-5e-4, 5e-4),
+                         drift_ppm=rng.uniform(-settings.clock_drift_ppm,
+                                               settings.clock_drift_ppm))
+        if settings.clock_sync:
+            followers = [h for h in local_hosts if h is not primary_host]
+            ClockSyncService(engine, primary_host, followers, PTP_EDGE,
+                             rng_stream=f"{prefix}/sync")
+
+        for pub_host in pub_hosts:
+            network.connect(pub_host, primary_host, lan())
+            network.connect(pub_host, backup_host, lan())
+        network.connect(primary_host, backup_host, settings.broker_link_latency)
+        for sub_host in sub_hosts:
+            network.connect(primary_host, sub_host, lan())
+            network.connect(backup_host, sub_host, lan())
+        network.connect(primary_host, cloud_host, cloud_model)
+        network.connect(backup_host, cloud_host, cloud_model)
+
+        workload = _offset_workload(
+            build_workload(settings.paper_total, settings.scale),
+            edge_index * EDGE_TOPIC_STRIDE)
+        subscriptions: Dict[int, Tuple[str, ...]] = {}
+        turn = 0
+        for spec in workload.specs:
+            if spec.destination == CLOUD:
+                subscriptions[spec.topic_id] = (cloud_subscriber.address,)
+            else:
+                subscriptions[spec.topic_id] = (
+                    f"{sub_hosts[turn % 2].name}/sub",)
+                turn += 1
+
+        load_rng = engine.rng(f"{prefix}/background-load")
+        if load_rng.random() < settings.background_noise_probability:
+            background = load_rng.uniform(*settings.background_noise_load)
+        else:
+            background = load_rng.uniform(*settings.background_idle_load)
+        config = SystemConfig.from_specs(
+            list(workload.specs),
+            policy=settings.policy,
+            params=settings.deadline_parameters(),
+            costs=CostModel.calibrated(settings.scale).scaled(1.0 + background),
+            subscriptions=subscriptions,
+            backup_buffer_capacity=settings.backup_buffer_capacity,
+            delivery_workers=settings.delivery_workers,
+        )
+        primary = Broker(engine, primary_host, network, config,
+                         name=f"{prefix}-B1", role=PRIMARY,
+                         peer_name=f"{prefix}-B2")
+        backup = Broker(engine, backup_host, network, config,
+                        name=f"{prefix}-B2", role=BACKUP, peer_name=None)
+        primary.stats.set_window(t0, t_end)
+        backup.stats.set_window(t0, t_end)
+        FailureDetector(
+            engine, backup_host, network, name=f"{prefix}-promoter",
+            target_ctl_address=primary.ctl_address, on_failure=backup.promote,
+            poll_interval=settings.backup_poll,
+            reply_timeout=settings.backup_timeout,
+            miss_threshold=settings.backup_misses)
+
+        subscribers = [Subscriber(engine, host, network, name=host.name)
+                       for host in sub_hosts]
+        publisher_stats = PublisherStats()
+        for group in workload.proxies:
+            host = pub_hosts[group.host_index]
+            group_specs = [config.topics[spec.topic_id] for spec in group.specs]
+            PublisherProxy(
+                engine, host, network, publisher_id=group.publisher_id,
+                specs=group_specs,
+                primary_ingress=primary.ingress_address,
+                backup_ingress=backup.ingress_address,
+                failover_bound=settings.failover_bound,
+                detector_poll=settings.publisher_poll,
+                detector_timeout=settings.publisher_timeout,
+                detector_misses=settings.publisher_misses,
+                start_offset=engine.rng(
+                    f"phase/{group.publisher_id}").uniform(0.0, group_specs[0].period),
+                stats=publisher_stats)
+
+        edge_records.append({
+            "workload": workload,
+            "primary_host": primary_host,
+            "primary": primary,
+            "backup": backup,
+            "publisher_stats": publisher_stats,
+            "subscribers": subscribers,
+        })
+
+    crash_time = None
+    if crash_edge is not None:
+        crash_time = settings.warmup + settings.crash_at
+        engine.call_at(crash_time, edge_records[crash_edge]["primary_host"].crash)
+
+    engine.run(until=t_end)
+
+    edges: List[RunResult] = []
+    for edge_index, record in enumerate(edge_records):
+        merged = SubscriberStats()
+        for subscriber in record["subscribers"]:
+            merged.merge(subscriber.stats)
+        # Fold in this edge's slice of the shared cloud subscriber.
+        for spec in record["workload"].specs:
+            if spec.destination == CLOUD:
+                merged.latency_by_seq[spec.topic_id] = dict(
+                    cloud_subscriber.stats.latency_by_seq.get(spec.topic_id, {}))
+        edges.append(RunResult(
+            settings=settings,
+            workload=record["workload"],
+            publisher_stats=record["publisher_stats"],
+            subscriber_stats=merged,
+            primary_broker=record["primary"],
+            backup_broker=record["backup"],
+            crash_time=crash_time if edge_index == crash_edge else None,
+            window=(t0, t_end),
+            accounting_end=t_end - settings.grace,
+        ))
+    return MultiEdgeResult(edges=edges, cloud_stats=cloud_subscriber.stats,
+                           crashed_edge=crash_edge)

@@ -1,0 +1,122 @@
+"""Regeneration of Tables 4 and 5 (paper Sec. VI-B/D).
+
+Each table aggregates ``(policy, workload, seed)`` cells: per (Di, Li) row
+and policy, the mean success rate with its 95 % confidence interval across
+seeds, printed next to the paper's published mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policy import ALL_POLICIES, ConfigPolicy
+from repro.experiments import paper_reference
+from repro.experiments.cells import TABLE_ROWS, run_cell
+from repro.experiments.runner import ExperimentSettings, RowKey
+from repro.metrics.report import format_table, format_value
+from repro.metrics.stats import mean_confidence_interval
+
+
+@dataclass(frozen=True)
+class TableCell:
+    """One aggregated table cell: measured mean ± CI (%), paper mean (%)."""
+
+    mean: float
+    half_width: float
+    paper: Optional[float]
+
+    def rendered(self) -> str:
+        return format_value(self.mean, self.half_width)
+
+
+@dataclass
+class TableResult:
+    """An aggregated Table 4 or Table 5."""
+
+    title: str
+    metric: str                         # "loss" or "latency"
+    workloads: Tuple[int, ...]
+    policies: Tuple[str, ...]
+    cells: Dict[Tuple[int, RowKey, str], TableCell]
+
+    def cell(self, workload: int, row: RowKey, policy: str) -> TableCell:
+        return self.cells[(workload, row, policy)]
+
+    def render(self) -> str:
+        blocks: List[str] = []
+        headers = ["Di", "Li"]
+        for policy in self.policies:
+            headers.append(policy)
+            headers.append(f"(paper {policy})")
+        for workload in self.workloads:
+            rows = []
+            for row_key in TABLE_ROWS:
+                di, li = row_key
+                li_text = "inf" if li == float("inf") else str(int(li))
+                line = [f"{di:.0f}", li_text]
+                for policy in self.policies:
+                    cell = self.cells[(workload, row_key, policy)]
+                    line.append(cell.rendered())
+                    line.append("-" if cell.paper is None else f"{cell.paper:.1f}")
+                rows.append(line)
+            blocks.append(format_table(
+                f"{self.title} - workload = {workload} topics", headers, rows))
+        return "\n\n".join(blocks)
+
+
+def _aggregate(metric: str, title: str, workloads: Sequence[int],
+               seeds: Sequence[int], base: ExperimentSettings,
+               policies: Sequence[ConfigPolicy],
+               paper_table) -> TableResult:
+    cells: Dict[Tuple[int, RowKey, str], TableCell] = {}
+    for workload in workloads:
+        for policy in policies:
+            per_row: Dict[RowKey, List[float]] = {key: [] for key in TABLE_ROWS}
+            for seed in seeds:
+                settings = replace(base, policy=policy, paper_total=workload,
+                                   seed=seed)
+                summary = run_cell(settings)
+                source = (summary.loss_by_row if metric == "loss"
+                          else summary.latency_by_row)
+                for key in TABLE_ROWS:
+                    per_row[key].append(100.0 * source[key])
+            for key in TABLE_ROWS:
+                mean, half = mean_confidence_interval(per_row[key])
+                cells[(workload, key, policy.name)] = TableCell(
+                    mean=mean, half_width=half,
+                    paper=paper_reference.paper_value(
+                        paper_table, workload, key, policy.name),
+                )
+    return TableResult(
+        title=title, metric=metric, workloads=tuple(workloads),
+        policies=tuple(policy.name for policy in policies), cells=cells,
+    )
+
+
+def table4(workloads: Sequence[int] = (7525, 10525, 13525),
+           seeds: Sequence[int] = range(5),
+           scale: float = 0.1,
+           policies: Sequence[ConfigPolicy] = ALL_POLICIES,
+           settings: Optional[ExperimentSettings] = None) -> TableResult:
+    """Table 4: success rate for the loss-tolerance requirement (%).
+
+    Crash runs: the Primary is killed halfway through the measuring phase
+    (the paper's 30th second of 60).
+    """
+    base = settings if settings is not None else ExperimentSettings(scale=scale)
+    base = replace(base, crash_at=base.measure / 2.0)
+    return _aggregate("loss", "TABLE 4: success rate for loss-tolerance requirement (%)",
+                      workloads, seeds, base, policies, paper_reference.TABLE4)
+
+
+def table5(workloads: Sequence[int] = (4525, 7525, 10525, 13525),
+           seeds: Sequence[int] = range(5),
+           scale: float = 0.1,
+           policies: Sequence[ConfigPolicy] = ALL_POLICIES,
+           settings: Optional[ExperimentSettings] = None) -> TableResult:
+    """Table 5: success rate for the latency requirement (%), fault-free."""
+    base = settings if settings is not None else ExperimentSettings(scale=scale)
+    base = replace(base, crash_at=None)
+    return _aggregate("latency", "TABLE 5: success rate for latency requirement (%)",
+                      workloads, seeds, base, policies, paper_reference.TABLE5)

@@ -1,0 +1,5 @@
+"""Fault injection: scheduled fail-stop crashes (paper Sec. VI-A)."""
+
+from repro.faults.injector import CrashInjector, FaultPlan
+
+__all__ = ["CrashInjector", "FaultPlan"]

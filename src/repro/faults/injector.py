@@ -1,0 +1,51 @@
+"""Scheduled fail-stop crash injection.
+
+The paper injects a crash by sending ``SIGKILL`` to the Primary broker at
+the 30th second of the measuring phase; the equivalent here is a scheduled
+:meth:`Host.crash`, which kills every process on the host and makes the
+network drop packets addressed to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which hosts crash, and when (absolute simulated time)."""
+
+    crashes: Tuple[Tuple[str, float], ...] = ()
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        return FaultPlan()
+
+    @staticmethod
+    def primary_crash(at: float, host_name: str = "primary") -> "FaultPlan":
+        return FaultPlan(crashes=((host_name, at),))
+
+    def crash_time_of(self, host_name: str) -> Optional[float]:
+        for name, at in self.crashes:
+            if name == host_name:
+                return at
+        return None
+
+
+class CrashInjector:
+    """Arms a :class:`FaultPlan` against a set of hosts."""
+
+    def __init__(self, engine, hosts_by_name: Dict[str, object], plan: FaultPlan):
+        self.engine = engine
+        self.plan = plan
+        self.injected: List[Tuple[str, float]] = []
+        for host_name, at in plan.crashes:
+            host = hosts_by_name.get(host_name)
+            if host is None:
+                raise KeyError(f"fault plan names unknown host {host_name!r}")
+            engine.call_at(at, self._crash, host)
+
+    def _crash(self, host) -> None:
+        host.crash()
+        self.injected.append((host.name, self.engine.now))

@@ -1,0 +1,20 @@
+"""Measurement and reporting: loss runs, latency success, CPU, statistics."""
+
+from repro.metrics.latency import LatencySummary, latency_summary
+from repro.metrics.loss import (
+    consecutive_loss_runs,
+    max_consecutive_losses,
+    meets_loss_tolerance,
+)
+from repro.metrics.stats import mean_confidence_interval
+from repro.metrics.report import format_table
+
+__all__ = [
+    "LatencySummary",
+    "consecutive_loss_runs",
+    "format_table",
+    "latency_summary",
+    "max_consecutive_losses",
+    "mean_confidence_interval",
+    "meets_loss_tolerance",
+]

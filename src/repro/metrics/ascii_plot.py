@@ -1,0 +1,81 @@
+"""Terminal-friendly ASCII charts for the figure benchmarks.
+
+The paper's Figs 8 and 9 are scatter/line plots; this module renders the
+same series as fixed-size ASCII charts so `pytest benchmarks/ -s` and the
+CLI can show the *shape* without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+def ascii_chart(xs: Sequence[float], ys: Sequence[float], title: str = "",
+                width: int = 72, height: int = 14,
+                y_label: str = "", x_label: str = "") -> str:
+    """Render ``(xs, ys)`` as a scatter chart in a character grid."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    points = [(x, y) for x, y in zip(xs, ys)
+              if math.isfinite(x) and math.isfinite(y)]
+    if not points:
+        return f"{title}\n(no data)"
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to be legible")
+    x_min = min(x for x, _ in points)
+    x_max = max(x for x, _ in points)
+    y_min = min(y for _, y in points)
+    y_max = max(y for _, y in points)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][column] = "*"
+
+    left_labels = [f"{y_max:10.3g} ", " " * 11, f"{y_min:10.3g} "]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = left_labels[0]
+        elif index == height - 1:
+            prefix = left_labels[2]
+        else:
+            prefix = left_labels[1]
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    footer = f"{x_min:<12.4g}{x_label:^{max(0, width - 24)}}{x_max:>12.4g}"
+    lines.append(" " * 12 + footer)
+    if y_label:
+        lines.insert(1 if title else 0, f"  [{y_label}]")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line sparkline (8-level block characters), for log lines."""
+    blocks = " .:-=+*#%@"
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return ""
+    if width is not None and len(values) > width:
+        # Downsample by max within buckets (spikes must stay visible).
+        bucket = len(values) / width
+        values = [max(values[int(i * bucket):max(int(i * bucket) + 1,
+                                                 int((i + 1) * bucket))])
+                  for i in range(width)]
+    low = min(finite)
+    high = max(finite)
+    span = (high - low) or 1.0
+    out = []
+    for value in values:
+        if not math.isfinite(value):
+            out.append("?")
+            continue
+        level = int((value - low) / span * (len(blocks) - 1))
+        out.append(blocks[level])
+    return "".join(out)

@@ -1,0 +1,74 @@
+"""Latency accounting (the paper's latency-success metric, Table 5).
+
+A message is a latency success when it is delivered within its topic's
+end-to-end deadline ``Di``; undelivered messages count as misses.  The
+success rate of a topic is the fraction of successes among the messages
+created inside the accounting window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+@dataclass
+class LatencySummary:
+    """Reduction of one topic's delivered latencies over a window."""
+
+    published: int
+    delivered: int
+    on_time: int
+    mean_latency: float
+    max_latency: float
+
+    @property
+    def success_rate(self) -> float:
+        if self.published == 0:
+            return 1.0
+        return self.on_time / self.published
+
+    @property
+    def delivery_rate(self) -> float:
+        if self.published == 0:
+            return 1.0
+        return self.delivered / self.published
+
+
+def latency_summary(published_seqs: Sequence[int],
+                    latency_by_seq: Dict[int, float],
+                    deadline: float) -> LatencySummary:
+    """Summarize one topic given its published seqs and delivery records."""
+    delivered = 0
+    on_time = 0
+    total = 0.0
+    worst = -math.inf
+    for seq in published_seqs:
+        latency = latency_by_seq.get(seq)
+        if latency is None:
+            continue
+        delivered += 1
+        total += latency
+        if latency > worst:
+            worst = latency
+        if latency <= deadline:
+            on_time += 1
+    return LatencySummary(
+        published=len(published_seqs),
+        delivered=delivered,
+        on_time=on_time,
+        mean_latency=total / delivered if delivered else math.nan,
+        max_latency=worst if delivered else math.nan,
+    )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]) of a non-empty list."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]

@@ -1,0 +1,74 @@
+"""Consecutive-loss accounting (the paper's loss-tolerance metric).
+
+A topic meets its requirement iff the subscriber never experiences more
+than ``Li`` *consecutive* message losses (Sec. III-B).  Given the ordered
+sequence numbers a publisher created and the set a subscriber received
+(after dedup), losses are the missing numbers, and what matters is the
+longest run of consecutive missing ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.core.model import LOSS_UNBOUNDED
+
+
+def consecutive_loss_runs(published_seqs: Sequence[int],
+                          delivered_seqs: Set[int]) -> List[Tuple[int, int]]:
+    """Runs of consecutive losses as ``(first_lost_seq, run_length)``.
+
+    ``published_seqs`` must be in creation order (it normally is a
+    contiguous ascending range, but resend logic only needs order).
+    """
+    runs: List[Tuple[int, int]] = []
+    run_start = None
+    run_length = 0
+    for seq in published_seqs:
+        if seq in delivered_seqs:
+            if run_length:
+                runs.append((run_start, run_length))
+            run_start = None
+            run_length = 0
+        else:
+            if not run_length:
+                run_start = seq
+            run_length += 1
+    if run_length:
+        runs.append((run_start, run_length))
+    return runs
+
+
+def max_consecutive_losses(published_seqs: Sequence[int],
+                           delivered_seqs: Set[int]) -> int:
+    """Length of the longest consecutive-loss run (0 when nothing lost)."""
+    longest = 0
+    current = 0
+    for seq in published_seqs:
+        if seq in delivered_seqs:
+            current = 0
+        else:
+            current += 1
+            if current > longest:
+                longest = current
+    return longest
+
+
+def total_losses(published_seqs: Sequence[int], delivered_seqs: Set[int]) -> int:
+    return sum(1 for seq in published_seqs if seq not in delivered_seqs)
+
+
+def meets_loss_tolerance(published_seqs: Sequence[int], delivered_seqs: Set[int],
+                         loss_tolerance: float) -> bool:
+    """Whether the topic satisfied ``Li`` over the accounting window."""
+    if loss_tolerance == LOSS_UNBOUNDED:
+        return True
+    return max_consecutive_losses(published_seqs, delivered_seqs) <= loss_tolerance
+
+
+def success_fraction(flags: Iterable[bool]) -> float:
+    """Fraction of True values; 1.0 for an empty input (vacuous success)."""
+    flags = list(flags)
+    if not flags:
+        return 1.0
+    return sum(flags) / len(flags)

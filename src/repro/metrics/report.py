@@ -1,0 +1,41 @@
+"""Plain-text rendering of paper-style tables and figure summaries."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_value(mean: float, half_width: float, digits: int = 1) -> str:
+    """Render ``mean ± half_width`` the way the paper's tables do.
+
+    Zero-width intervals render as the bare mean; tiny half-widths use
+    scientific notation like Table 5's ``2.5E-2`` entries.
+    """
+    if half_width == 0.0:
+        return f"{mean:.{digits}f}"
+    if half_width < 10 ** (-digits) / 2:
+        return f"{mean:.{digits}f} ± {half_width:.1E}"
+    return f"{mean:.{digits}f} ± {half_width:.{digits}f}"
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """A fixed-width text table with a title rule, like the paper's tables."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match {columns} headers")
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[index])
+                         for index, cell in enumerate(cells)).rstrip()
+
+    rule = "-" * len(render_row(headers))
+    lines: List[str] = [title, rule, render_row(headers), rule]
+    lines.extend(render_row(row) for row in rows)
+    lines.append(rule)
+    return "\n".join(lines)

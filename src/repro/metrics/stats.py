@@ -1,0 +1,57 @@
+"""Statistical reductions across repeated runs.
+
+The paper reports each measurement as a mean with a 95 % confidence
+interval over ten runs; :func:`mean_confidence_interval` reproduces that
+(Student's t).  Implemented without SciPy so the core library stays
+dependency-free; the inverse-t values for small sample sizes are tabulated
+and checked against SciPy in the test suite when SciPy is available.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+# Two-sided 95 % critical values of Student's t for df = 1..30.
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+_T95_INF = 1.960
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return _T95_INF
+
+
+def mean_confidence_interval(values: Sequence[float]) -> Tuple[float, float]:
+    """``(mean, half_width)`` of the 95 % CI of the mean.
+
+    A single sample has an undefined interval; it is reported as width 0
+    (the paper's tables omit the ± term when the variance is zero).
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half_width = t_critical_95(n - 1) * math.sqrt(variance / n)
+    return mean, half_width
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Sample (n-1) standard deviation."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))

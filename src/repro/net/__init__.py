@@ -1,0 +1,28 @@
+"""Network substrate: hosts wired by latency-modeled, FIFO, crash-aware links.
+
+Models the paper's testbed network (Fig. 6): a Gigabit LAN connecting
+publishers, brokers, and edge subscribers (sub-millisecond), a dedicated
+broker-to-broker path, and a WAN path to the cloud subscriber
+(tens of milliseconds, diurnally varying).
+"""
+
+from repro.net.cloud import CloudLatencyModel, LatencySpike
+from repro.net.link import (
+    ConstantLatency,
+    LatencyModel,
+    LognormalLatency,
+    TraceLatency,
+    UniformLatency,
+)
+from repro.net.topology import Network
+
+__all__ = [
+    "CloudLatencyModel",
+    "ConstantLatency",
+    "LatencyModel",
+    "LatencySpike",
+    "LognormalLatency",
+    "Network",
+    "TraceLatency",
+    "UniformLatency",
+]

@@ -1,0 +1,81 @@
+"""Cloud-path latency: diurnal variation, jitter, and spikes (for Fig. 8).
+
+The paper measured the broker-to-EC2 one-way latency over 24 hours: a
+floor slightly above 20 ms (their configured lower bound was 20.7 ms for a
+one-hour calibration run), smooth diurnal variation, and an isolated
++104 ms spike around 8 am.  :class:`CloudLatencyModel` reproduces that
+structure:
+
+    latency(t) = floor
+               + diurnal_amplitude * (1 + sin(2*pi*(t/day_length + phase))) / 2
+               + lognormal jitter
+               + any active spike's magnitude
+
+The ``day_length`` parameter lets experiments compress 24 hours of latency
+evolution into a shorter simulated span without changing the shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.net.link import LatencyModel
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """A transient latency excursion (congestion event) on the cloud path."""
+
+    start: float       # seconds into the (possibly compressed) day
+    duration: float
+    magnitude: float   # added latency while active
+
+    def active(self, t: float, day_length: float) -> bool:
+        phase_time = t % day_length
+        return self.start <= phase_time < self.start + self.duration
+
+
+class CloudLatencyModel(LatencyModel):
+    """Diurnal + jitter + spike model of the broker-to-cloud one-way path."""
+
+    def __init__(
+        self,
+        floor: float = 20.3e-3,
+        diurnal_amplitude: float = 3.0e-3,
+        jitter_median: float = 0.5e-3,
+        jitter_sigma: float = 0.6,
+        day_length: float = 86400.0,
+        phase: float = 0.0,
+        spikes: Sequence[LatencySpike] = (),
+    ):
+        if floor < 0 or diurnal_amplitude < 0:
+            raise ValueError("floor and diurnal_amplitude must be >= 0")
+        if jitter_median <= 0 or jitter_sigma <= 0:
+            raise ValueError("jitter parameters must be positive")
+        if day_length <= 0:
+            raise ValueError("day_length must be positive")
+        self.floor = floor
+        self.diurnal_amplitude = diurnal_amplitude
+        self.jitter_mu = math.log(jitter_median)
+        self.jitter_sigma = jitter_sigma
+        self.day_length = day_length
+        self.phase = phase
+        self.spikes = tuple(spikes)
+
+    def baseline(self, now: float) -> float:
+        """The deterministic (jitter-free) component at time ``now``."""
+        cycle = math.sin(2.0 * math.pi * (now / self.day_length + self.phase))
+        value = self.floor + self.diurnal_amplitude * (1.0 + cycle) / 2.0
+        for spike in self.spikes:
+            if spike.active(now, self.day_length):
+                value += spike.magnitude
+        return value
+
+    def sample(self, rng, now: float) -> float:
+        return self.baseline(now) + rng.lognormvariate(self.jitter_mu, self.jitter_sigma)
+
+    def minimum(self) -> float:
+        """A lower bound no sample goes below (the safe ΔBS estimate)."""
+        return self.floor

@@ -1,0 +1,67 @@
+"""Network fault models: loss, duplication, and partitions.
+
+The paper assumes reliable, bounded-latency interconnects (Sec. III-B),
+which :class:`~repro.net.topology.Network` provides.  These wrappers let
+experiments *violate* those assumptions deliberately — to show where the
+guarantees' preconditions matter and how the end-to-end dedup/retention
+machinery behaves under real network misbehavior.
+
+* :class:`LossyLink` — drops each packet independently with probability
+  ``loss_rate`` (delivery returns nothing; TCP users would see this as a
+  retransmission delay, UDP users as a genuine loss).
+* :class:`DuplicatingLink` — occasionally delivers a packet twice
+  (exercises the subscriber/broker dedup paths).
+* Partitions are supported directly on :class:`Network` via
+  :meth:`~repro.net.topology.Network.partition` /
+  :meth:`~repro.net.topology.Network.heal`.
+"""
+
+from __future__ import annotations
+
+from repro.net.link import LatencyModel
+
+#: Sentinel latency meaning "the packet vanished".
+DROPPED = None
+
+
+class LossyLink(LatencyModel):
+    """Wraps a latency model with independent per-packet loss."""
+
+    def __init__(self, base: LatencyModel, loss_rate: float):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.base = base
+        self.loss_rate = loss_rate
+        self.dropped = 0
+
+    def sample(self, rng, now: float):
+        if rng.random() < self.loss_rate:
+            self.dropped += 1
+            return DROPPED
+        return self.base.sample(rng, now)
+
+
+class DuplicatingLink(LatencyModel):
+    """Wraps a latency model with independent per-packet duplication.
+
+    A duplicated packet is delivered a second time after an extra
+    ``duplicate_lag`` (modeling a spurious retransmission).
+    """
+
+    def __init__(self, base: LatencyModel, duplicate_rate: float,
+                 duplicate_lag: float = 1e-3):
+        if not 0.0 <= duplicate_rate <= 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1]")
+        if duplicate_lag < 0:
+            raise ValueError("duplicate_lag must be >= 0")
+        self.base = base
+        self.duplicate_rate = duplicate_rate
+        self.duplicate_lag = duplicate_lag
+        self.duplicated = 0
+
+    def sample(self, rng, now: float):
+        latency = self.base.sample(rng, now)
+        if rng.random() < self.duplicate_rate:
+            self.duplicated += 1
+            return (latency, latency + self.duplicate_lag)
+        return latency

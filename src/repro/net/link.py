@@ -1,0 +1,85 @@
+"""One-way link latency models.
+
+A latency model answers "how long does a packet sent *now* take?"  Models
+are sampled per message; FIFO ordering is enforced by the link itself (see
+:mod:`repro.net.topology`), mirroring TCP's in-order delivery.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+
+class LatencyModel:
+    """Interface: ``sample(rng, now) -> one-way latency in seconds``."""
+
+    def sample(self, rng, now: float) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """A fixed one-way latency (dedicated broker-to-broker interconnect)."""
+
+    def __init__(self, latency: float):
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.latency = latency
+
+    def sample(self, rng, now: float) -> float:
+        return self.latency
+
+
+class UniformLatency(LatencyModel):
+    """Uniform jitter in ``[low, high]`` (switched LAN segments)."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low <= high:
+            raise ValueError(f"require 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng, now: float) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class LognormalLatency(LatencyModel):
+    """A floor plus lognormal jitter — heavy-tailed WAN behavior.
+
+    ``floor`` is the propagation delay that no packet beats; ``median_extra``
+    the median queueing excess; ``sigma`` the lognormal shape.
+    """
+
+    def __init__(self, floor: float, median_extra: float, sigma: float = 0.5):
+        if floor < 0 or median_extra <= 0 or sigma <= 0:
+            raise ValueError("floor >= 0, median_extra > 0, sigma > 0 required")
+        self.floor = floor
+        self.mu = math.log(median_extra)
+        self.sigma = sigma
+
+    def sample(self, rng, now: float) -> float:
+        return self.floor + rng.lognormvariate(self.mu, self.sigma)
+
+
+class TraceLatency(LatencyModel):
+    """Replays a measured ``(time, latency)`` trace with step interpolation.
+
+    Used to drive a link from recorded RTT data (e.g. a ping log against a
+    real cloud region).  Before the first sample the first latency is used.
+    """
+
+    def __init__(self, trace: Sequence[Tuple[float, float]]):
+        if not trace:
+            raise ValueError("trace must be non-empty")
+        pairs = sorted(trace)
+        self._times: List[float] = [t for t, _ in pairs]
+        self._latencies: List[float] = [l for _, l in pairs]
+        if any(l < 0 for l in self._latencies):
+            raise ValueError("trace latencies must be >= 0")
+
+    def sample(self, rng, now: float) -> float:
+        index = bisect.bisect_right(self._times, now) - 1
+        if index < 0:
+            index = 0
+        return self._latencies[index]

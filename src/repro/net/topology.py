@@ -1,0 +1,177 @@
+"""The network: addressed endpoints wired by FIFO, crash-aware links.
+
+Semantics chosen to match a TCP mesh over the paper's testbed:
+
+* **Addressing** — components register string addresses (e.g.
+  ``"primary/ingress"``); sending targets an address, not a host.
+* **FIFO per directed host pair** — samples from a latency model never
+  reorder messages between the same two hosts (TCP in-order delivery).
+* **Crash awareness** — a message from a dead host is never sent (its
+  processes are dead anyway, this is a backstop); a message *to* a dead
+  host is silently dropped at delivery time, like packets to a crashed OS.
+  A message already "on the wire" when the *sender* dies is still
+  delivered (it left the NIC).
+* **Addresses can move** — during fail-over the publishers re-resolve the
+  broker ingress to the Backup; re-registration of an address on another
+  host models a well-known service name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.net.link import ConstantLatency, LatencyModel
+from repro.sim.host import Host
+
+
+class _Link:
+    __slots__ = ("model", "rng", "last_delivery", "bandwidth", "blocked")
+
+    def __init__(self, model: LatencyModel, rng, bandwidth: Optional[float] = None):
+        self.model = model
+        self.rng = rng
+        self.last_delivery = -1.0
+        self.bandwidth = bandwidth       # bytes/second; None = infinite
+        self.blocked = False             # True while partitioned
+
+
+class Network:
+    """All hosts and links of one simulated deployment."""
+
+    #: Minimal spacing that keeps per-link FIFO order without bunching.
+    FIFO_EPSILON = 1e-9
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._links: Dict[Tuple[str, str], _Link] = {}
+        self._endpoints: Dict[str, Tuple[Host, Callable[[Any], None]]] = {}
+        self.sent_count = 0
+        self.dropped_count = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect(self, a: Host, b: Host, latency, bidirectional: bool = True,
+                bandwidth: Optional[float] = None) -> None:
+        """Create a link between two hosts.
+
+        ``latency`` may be a :class:`LatencyModel` or a plain float
+        (constant one-way latency).  ``bandwidth`` (bytes/second) adds a
+        serialization delay of ``size / bandwidth`` per message; ``None``
+        models an infinitely fast pipe (fine for the paper's 16-byte
+        payloads on Gigabit links).  Each direction gets its own RNG
+        stream so traffic in one direction never perturbs the other.
+        """
+        if isinstance(latency, (int, float)):
+            latency = ConstantLatency(float(latency))
+        self._add_directed(a, b, latency, bandwidth)
+        if bidirectional:
+            self._add_directed(b, a, latency, bandwidth)
+
+    def _add_directed(self, src: Host, dst: Host, model: LatencyModel,
+                      bandwidth: Optional[float] = None) -> None:
+        key = (src.name, dst.name)
+        if key in self._links:
+            raise ValueError(f"link {src.name} -> {dst.name} already exists")
+        rng = self.engine.rng(f"link/{src.name}->{dst.name}")
+        self._links[key] = _Link(model, rng, bandwidth)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, a: Host, b: Host) -> None:
+        """Block traffic between two hosts (both directions)."""
+        self._set_blocked(a, b, True)
+
+    def heal(self, a: Host, b: Host) -> None:
+        """Restore traffic between two previously partitioned hosts."""
+        self._set_blocked(a, b, False)
+
+    def _set_blocked(self, a: Host, b: Host, blocked: bool) -> None:
+        found = False
+        for key in ((a.name, b.name), (b.name, a.name)):
+            link = self._links.get(key)
+            if link is not None:
+                link.blocked = blocked
+                found = True
+        if not found:
+            raise ValueError(f"no link between {a.name} and {b.name}")
+
+    def register(self, host: Host, address: str,
+                 callback: Callable[[Any], None]) -> None:
+        """Bind ``address`` to a handler on ``host``.
+
+        Re-binding an existing address is allowed only if its current host
+        is dead (fail-over taking over a service name) or it is the same
+        host updating its handler.
+        """
+        current = self._endpoints.get(address)
+        if current is not None and current[0].alive and current[0] is not host:
+            raise ValueError(
+                f"address {address!r} is already registered on live host "
+                f"{current[0].name}"
+            )
+        self._endpoints[address] = (host, callback)
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def endpoint_host(self, address: str) -> Optional[Host]:
+        entry = self._endpoints.get(address)
+        return entry[0] if entry else None
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: Host, address: str, message: Any, size: int = 0) -> bool:
+        """Send ``message`` from ``src`` to the component at ``address``.
+
+        Returns ``True`` if the message was put on the wire.  Unknown
+        addresses, partitioned links, and sends from dead hosts return
+        ``False``; delivery to a host that dies in flight is dropped
+        silently (counted in :attr:`dropped_count`).  ``size`` (bytes)
+        matters only on bandwidth-limited links.
+
+        Fault-model hooks: a latency model may return ``None`` (packet
+        lost, see :class:`repro.net.faults.LossyLink`) or a tuple of
+        latencies (duplicate deliveries).
+        """
+        if not src.alive:
+            return False
+        entry = self._endpoints.get(address)
+        if entry is None:
+            self.dropped_count += 1
+            return False
+        dst_host, _ = entry
+        link = self._links.get((src.name, dst_host.name))
+        if link is None:
+            raise ValueError(f"no link {src.name} -> {dst_host.name}")
+        if link.blocked:
+            self.dropped_count += 1
+            return False
+        now = self.engine.now
+        sample = link.model.sample(link.rng, now)
+        if sample is None:
+            self.dropped_count += 1
+            return False
+        latencies = sample if isinstance(sample, tuple) else (sample,)
+        serialization = size / link.bandwidth if link.bandwidth else 0.0
+        self.sent_count += 1
+        for latency in latencies:
+            deliver_at = now + latency + serialization
+            if deliver_at <= link.last_delivery:
+                deliver_at = link.last_delivery + self.FIFO_EPSILON
+            link.last_delivery = deliver_at
+            self.engine.call_at(deliver_at, self._deliver, address, message)
+        return True
+
+    def _deliver(self, address: str, message: Any) -> None:
+        entry = self._endpoints.get(address)
+        if entry is None:
+            self.dropped_count += 1
+            return
+        host, callback = entry
+        if not host.alive:
+            self.dropped_count += 1
+            return
+        callback(message)

@@ -1,0 +1,38 @@
+"""A real (wall-clock) asyncio implementation of FRAME over TCP.
+
+This runtime reuses the same core components as the simulator — the
+timing bounds of :mod:`repro.core.timing`, the buffers, the coordination
+flags, the policies — but drives them with ``asyncio`` on real sockets,
+so a downstream user can actually deploy a Primary/Backup broker pair,
+publishers, and subscribers.
+
+**Scope note (honesty about Python real-time):** CPython's GIL and
+scheduling jitter mean this runtime provides *best-effort* timing only;
+the paper's millisecond-level guarantees are evaluated with the
+deterministic simulator (:mod:`repro.sim`), not this runtime.  The
+runtime's value is functional: EDF-ordered dispatch, selective
+replication, coordination, fail-over, and recovery all work end-to-end
+on real sockets.
+"""
+
+from repro.runtime.broker import BrokerServer, RuntimeBrokerConfig
+from repro.runtime.client import Publisher, Subscriber
+from repro.runtime.wire import (
+    MAX_FRAME_BYTES,
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "BrokerServer",
+    "MAX_FRAME_BYTES",
+    "Publisher",
+    "RuntimeBrokerConfig",
+    "Subscriber",
+    "decode_message",
+    "encode_message",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,478 @@
+"""The asyncio FRAME broker: EDF dispatch, replication, coordination.
+
+One :class:`BrokerServer` plays Primary or Backup.  It accepts three kinds
+of peers on one listening socket, distinguished by their ``hello`` frame:
+publishers (send ``publish`` frames), subscribers (send ``subscribe``,
+receive ``deliver``), and the peer broker (receives ``replica``/``prune``,
+answers pings on the same connection).
+
+The scheduling core mirrors :mod:`repro.core.broker`: per-topic pseudo
+deadlines are precomputed from the same Lemma 1/2 functions, each arrival
+spawns dispatch/replication jobs with absolute deadlines, and a worker
+pool pops an EDF heap.  Deadlines here are wall-clock (``time.time()``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.buffers import BackupBuffer
+from repro.core.model import Message, TopicSpec
+from repro.core.policy import ARRIVAL_ORDER, FRAME, ConfigPolicy
+from repro.core.timing import (
+    DeadlineParameters,
+    needs_replication,
+    pseudo_dispatch_deadline,
+    pseudo_replication_deadline,
+)
+from repro.runtime.wire import (
+    ProtocolError,
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+
+logger = logging.getLogger(__name__)
+
+PRIMARY = "primary"
+BACKUP = "backup"
+
+_DISPATCH = 0
+_REPLICATE = 1
+
+
+@dataclass
+class RuntimeBrokerConfig:
+    """Configuration of one runtime broker."""
+
+    topics: Dict[int, TopicSpec]
+    policy: ConfigPolicy = FRAME
+    params: DeadlineParameters = field(default_factory=DeadlineParameters)
+    backup_buffer_capacity: int = 32
+    dispatch_workers: int = 4
+    peer_address: Optional[Tuple[str, int]] = None   # the Backup (on the Primary)
+    watch_address: Optional[Tuple[str, int]] = None  # the Primary (on the Backup)
+    poll_interval: float = 0.2
+    reply_timeout: float = 0.2
+    miss_threshold: int = 3
+    #: For the disk-logging strategy (``policy.disk_logging``): where the
+    #: synchronous journal lives.  ``None`` disables journaling even if
+    #: the policy requests it (with a warning).
+    journal_path: Optional[str] = None
+    #: Replay the existing journal on start (crash-restart recovery, the
+    #: Kafka/Flink-style use of the Table 1 local-disk strategy).
+    recover_journal: bool = False
+    #: Grace before replay begins, letting subscribers reconnect first.
+    journal_recovery_delay: float = 0.5
+
+
+class _Entry:
+    """Coordination record of one in-flight message (Table 3 flags)."""
+
+    __slots__ = ("message", "arrived_at", "dispatched", "replicated",
+                 "wants_replication", "cancelled_replication", "recovered")
+
+    def __init__(self, message: Message, arrived_at: float, wants_replication: bool,
+                 recovered: bool = False):
+        self.message = message
+        self.arrived_at = arrived_at
+        self.dispatched = False
+        self.replicated = False
+        self.wants_replication = wants_replication
+        self.cancelled_replication = False
+        self.recovered = recovered
+
+
+class BrokerServer:
+    """A FRAME broker on real sockets."""
+
+    def __init__(self, host: str, port: int, config: RuntimeBrokerConfig,
+                 role: str = PRIMARY, name: str = "broker"):
+        if role not in (PRIMARY, BACKUP):
+            raise ValueError(f"unknown role {role!r}")
+        self.host = host
+        self.port = port
+        self.config = config
+        self.role = role
+        self.name = name
+        self._plan = self._build_plan()
+        self._heap: List[Tuple[float, int, int, _Entry]] = []
+        self._heap_seq = 0
+        self._heap_event = asyncio.Event()
+        self._subscribers: Dict[int, Set[asyncio.StreamWriter]] = {}
+        self._entries: Dict[Tuple[int, int], _Entry] = {}
+        self.backup_buffer = BackupBuffer(config.backup_buffer_capacity)
+        self._peer_writer: Optional[asyncio.StreamWriter] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: List[asyncio.Task] = []
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._journal = None
+        if config.policy.disk_logging:
+            if config.journal_path is None:
+                logger.warning("%s: disk_logging policy without journal_path; "
+                               "journaling disabled", name)
+            else:
+                self._journal = open(config.journal_path, "ab")
+        self._closed = False
+        self.promoted = asyncio.Event()
+        # Counters (mirroring the simulator's BrokerStats).
+        self.dispatched = 0
+        self.replicated = 0
+        self.prunes_sent = 0
+        self.prunes_applied = 0
+        self.replications_aborted = 0
+        self.recovery_dispatched = 0
+        self.recovery_skipped = 0
+
+    # ------------------------------------------------------------------
+    def _build_plan(self) -> Dict[int, Tuple[float, Optional[float]]]:
+        plan: Dict[int, Tuple[float, Optional[float]]] = {}
+        policy = self.config.policy
+        adjusted = policy.adjust_specs(list(self.config.topics.values()))
+        for spec in adjusted:
+            pseudo_dd = pseudo_dispatch_deadline(spec, self.config.params)
+            if not policy.replication_enabled:
+                wants = False
+            elif policy.selective_replication:
+                wants = needs_replication(spec, self.config.params)
+            else:
+                wants = True
+            pseudo_dr = (pseudo_replication_deadline(spec, self.config.params)
+                         if wants else None)
+            plan[spec.topic_id] = (pseudo_dd, pseudo_dr)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._on_connection,
+                                                  self.host, self.port)
+        if self._server.sockets:
+            self.port = self._server.sockets[0].getsockname()[1]
+        for _ in range(self.config.dispatch_workers):
+            self._tasks.append(asyncio.create_task(self._worker()))
+        if self.role == PRIMARY and self.config.peer_address:
+            self._tasks.append(asyncio.create_task(self._connect_peer()))
+        if self.role == BACKUP and self.config.watch_address:
+            self._tasks.append(asyncio.create_task(self._watch_primary()))
+        if self.config.recover_journal and self.config.journal_path:
+            self._tasks.append(asyncio.create_task(self._replay_journal()))
+        logger.info("%s listening on %s:%d as %s", self.name, self.host,
+                    self.port, self.role)
+
+    async def close(self) -> None:
+        """Stop serving and sever every connection (fail-stop semantics:
+        a crashed broker must stop answering liveness pings immediately)."""
+        self._closed = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
+        if self._peer_writer is not None:
+            self._peer_writer.close()
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        subscribed: Set[int] = set()
+        self._connections.add(writer)
+        try:
+            while not self._closed:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                await self._handle_frame(frame, writer, subscribed)
+        except (ProtocolError, ConnectionResetError) as exc:
+            logger.warning("%s: dropping connection: %s", self.name, exc)
+        finally:
+            self._connections.discard(writer)
+            for topic_id in subscribed:
+                self._subscribers.get(topic_id, set()).discard(writer)
+            writer.close()
+
+    async def _handle_frame(self, frame, writer, subscribed: Set[int]) -> None:
+        kind = frame["type"]
+        if kind == "hello":
+            pass   # connection-role announcement; informational only
+        elif kind == "publish":
+            arrived_at = time.time()
+            for obj in frame.get("messages", ()):
+                self._ingest(decode_message(obj), arrived_at,
+                             resend=bool(frame.get("resend")))
+        elif kind == "subscribe":
+            for topic_id in frame.get("topics", ()):
+                self._subscribers.setdefault(int(topic_id), set()).add(writer)
+                subscribed.add(int(topic_id))
+            await write_frame(writer, {"type": "subscribed"})
+        elif kind == "replica":
+            message = decode_message(frame["message"])
+            self.backup_buffer.store(message, arrived_at=time.time())
+        elif kind == "prune":
+            if self.backup_buffer.prune(int(frame["topic"]), int(frame["seq"])):
+                self.prunes_applied += 1
+        elif kind == "ping":
+            await write_frame(writer, {"type": "pong", "nonce": frame.get("nonce")})
+        elif kind == "stats":
+            await write_frame(writer, {"type": "stats_reply", **self.snapshot()})
+        else:
+            raise ProtocolError(f"unknown frame type {kind!r}")
+
+    def snapshot(self) -> Dict[str, object]:
+        """Observability counters (served on the wire via a ``stats`` frame)."""
+        return {
+            "name": self.name,
+            "role": self.role,
+            "dispatched": self.dispatched,
+            "replicated": self.replicated,
+            "prunes_sent": self.prunes_sent,
+            "prunes_applied": self.prunes_applied,
+            "replications_aborted": self.replications_aborted,
+            "recovery_dispatched": self.recovery_dispatched,
+            "recovery_skipped": self.recovery_skipped,
+            "queued_jobs": len(self._heap),
+            "backup_copies": self.backup_buffer.total_count(),
+            "backup_copies_live": self.backup_buffer.live_count(),
+            "topics": len(self.config.topics),
+        }
+
+    # ------------------------------------------------------------------
+    # Job generation (Sec. IV-A, wall-clock deadlines)
+    # ------------------------------------------------------------------
+    def _ingest(self, message: Message, arrived_at: float, resend: bool = False) -> None:
+        plan = self._plan.get(message.topic_id)
+        if plan is None:
+            return
+        if resend:
+            backup_entry = self.backup_buffer.get(message.topic_id, message.seq)
+            if backup_entry is not None and backup_entry.discard:
+                return
+        key = message.key()
+        if key in self._entries:
+            return
+        pseudo_dd, pseudo_dr = plan
+        can_replicate = self._peer_writer is not None and self.role == PRIMARY
+        entry = _Entry(message, arrived_at,
+                       wants_replication=pseudo_dr is not None and can_replicate,
+                       recovered=resend)
+        self._entries[key] = entry
+        if self.config.policy.scheduling == ARRIVAL_ORDER:
+            dispatch_deadline = replicate_deadline = arrived_at
+        else:
+            delta_pb = max(0.0, arrived_at - message.created_at)
+            dispatch_deadline = arrived_at + pseudo_dd - delta_pb
+            replicate_deadline = (arrived_at + pseudo_dr - delta_pb
+                                  if pseudo_dr is not None else 0.0)
+        if entry.wants_replication and (
+                self.config.policy.replicate_before_dispatch
+                or replicate_deadline <= dispatch_deadline):
+            self._push(replicate_deadline, _REPLICATE, entry)
+            self._push(dispatch_deadline, _DISPATCH, entry)
+        else:
+            self._push(dispatch_deadline, _DISPATCH, entry)
+            if entry.wants_replication:
+                self._push(replicate_deadline, _REPLICATE, entry)
+
+    def _push(self, deadline: float, kind: int, entry: _Entry) -> None:
+        self._heap_seq += 1
+        heapq.heappush(self._heap, (deadline, self._heap_seq, kind, entry))
+        self._heap_event.set()
+
+    # ------------------------------------------------------------------
+    # Message Delivery workers
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        coordination = self.config.policy.coordination
+        while not self._closed:
+            while not self._heap:
+                self._heap_event.clear()
+                await self._heap_event.wait()
+            _, _, kind, entry = heapq.heappop(self._heap)
+            try:
+                if kind == _DISPATCH:
+                    await self._do_dispatch(entry, coordination)
+                else:
+                    await self._do_replicate(entry, coordination)
+            except (ConnectionResetError, ProtocolError) as exc:
+                logger.warning("%s: delivery error: %s", self.name, exc)
+            self._maybe_release(entry)
+
+    async def _do_dispatch(self, entry: _Entry, coordination: bool) -> None:
+        if entry.dispatched:
+            return
+        message = entry.message
+        if self._journal is not None and not entry.recovered:
+            # The Table 1 "local disk" strategy: journal synchronously
+            # (write + fsync) before the message leaves the broker.
+            # Replayed/resent messages are already on disk.
+            await asyncio.to_thread(self._journal_write, message)
+        frame = {"type": "deliver", "message": encode_message(message)}
+        for writer in list(self._subscribers.get(message.topic_id, ())):
+            try:
+                await write_frame(writer, frame)
+            except (ConnectionResetError, OSError):
+                self._subscribers[message.topic_id].discard(writer)
+        entry.dispatched = True
+        self.dispatched += 1
+        if coordination and not entry.replicated and entry.wants_replication:
+            entry.cancelled_replication = True   # Table 3: abort at pop
+        if coordination and entry.replicated and self._peer_writer is not None:
+            await write_frame(self._peer_writer, {
+                "type": "prune", "topic": message.topic_id, "seq": message.seq})
+            self.prunes_sent += 1
+
+    async def _do_replicate(self, entry: _Entry, coordination: bool) -> None:
+        if coordination and (entry.dispatched or entry.cancelled_replication):
+            self.replications_aborted += 1
+            return
+        if self._peer_writer is None:
+            return
+        message = entry.message
+        await write_frame(self._peer_writer, {
+            "type": "replica",
+            "message": encode_message(message),
+            "arrived_at": entry.arrived_at,
+        })
+        entry.replicated = True
+        self.replicated += 1
+        if coordination and entry.dispatched:
+            await write_frame(self._peer_writer, {
+                "type": "prune", "topic": message.topic_id, "seq": message.seq})
+            self.prunes_sent += 1
+
+    async def _replay_journal(self) -> None:
+        """Crash-restart recovery: re-dispatch every journaled message.
+
+        Runs after a grace period so subscribers have reconnected; each
+        journaled record is re-ingested like a resent message (dedup at
+        ingest and at the subscribers absorbs anything already seen).
+        """
+        import json
+
+        await asyncio.sleep(self.config.journal_recovery_delay)
+        try:
+            with open(self.config.journal_path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return
+        recovered = 0
+        now = time.time()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                message = decode_message(json.loads(line))
+            except (ValueError, ProtocolError):
+                logger.warning("%s: skipping corrupt journal record", self.name)
+                continue
+            self._ingest(message, now, resend=True)
+            recovered += 1
+        self.recovery_dispatched += recovered
+        logger.info("%s: replayed %d journaled messages", self.name, recovered)
+
+    def _journal_write(self, message: Message) -> None:
+        import json
+        import os
+
+        record = json.dumps(encode_message(message),
+                            separators=(",", ":")).encode("utf-8")
+        self._journal.write(record + b"\n")
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+
+    def _maybe_release(self, entry: _Entry) -> None:
+        done_replication = (not entry.wants_replication or entry.replicated
+                            or entry.cancelled_replication)
+        if entry.dispatched and done_replication:
+            self._entries.pop(entry.message.key(), None)
+
+    # ------------------------------------------------------------------
+    # Peer link and promotion
+    # ------------------------------------------------------------------
+    async def _connect_peer(self) -> None:
+        host, port = self.config.peer_address
+        while not self._closed and self._peer_writer is None:
+            try:
+                _, writer = await asyncio.open_connection(host, port)
+                await write_frame(writer, {"type": "hello", "role": "peer"})
+                self._peer_writer = writer
+                logger.info("%s: connected to backup %s:%d", self.name, host, port)
+            except OSError:
+                await asyncio.sleep(0.1)
+
+    async def _watch_primary(self) -> None:
+        host, port = self.config.watch_address
+        misses = 0
+        nonce = 0
+        reader = writer = None
+        while not self._closed:
+            try:
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(host, port)
+                nonce += 1
+                await write_frame(writer, {"type": "ping", "nonce": nonce})
+                frame = await asyncio.wait_for(read_frame(reader),
+                                               timeout=self.config.reply_timeout)
+                if frame is None or frame.get("type") != "pong":
+                    raise ConnectionResetError("bad pong")
+                misses = 0
+            except (OSError, asyncio.TimeoutError, ConnectionResetError,
+                    ProtocolError):
+                misses += 1
+                if writer is not None:
+                    writer.close()
+                reader = writer = None
+                if misses >= self.config.miss_threshold:
+                    self._promote()
+                    return
+            await asyncio.sleep(self.config.poll_interval)
+
+    def _promote(self) -> None:
+        """Become the Primary: re-dispatch non-discarded Backup copies."""
+        if self.role == PRIMARY:
+            return
+        self.role = PRIMARY
+        logger.info("%s: promoting to primary", self.name)
+        now = time.time()
+        for backup_entry in self.backup_buffer.all_entries():
+            if backup_entry.discard:
+                self.recovery_skipped += 1
+                continue
+            message = backup_entry.message
+            pseudo_dd, _ = self._plan.get(message.topic_id, (None, None))
+            if pseudo_dd is None:
+                continue
+            entry = _Entry(message, backup_entry.arrived_at,
+                           wants_replication=False)
+            self._entries.setdefault(message.key(), entry)
+            deadline = (message.created_at + pseudo_dd
+                        if self.config.policy.scheduling != ARRIVAL_ORDER
+                        else now)
+            self._push(deadline, _DISPATCH, entry)
+            self.recovery_dispatched += 1
+        self.promoted.set()

@@ -1,0 +1,270 @@
+"""Runtime clients: the publisher proxy and the subscriber.
+
+A :class:`Publisher` keeps a Retention Buffer per topic, watches the
+Primary with ping/pong polling, and on suspicion redirects its traffic to
+the Backup, re-sending all retained messages first (the fail-over path).
+
+A :class:`Subscriber` connects to both brokers, subscribes its topics on
+each, deduplicates deliveries by ``(topic, seq)``, and invokes a callback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.buffers import RingBuffer
+from repro.core.model import Message, TopicSpec
+from repro.runtime.wire import (
+    ProtocolError,
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+
+logger = logging.getLogger(__name__)
+
+Address = Tuple[str, int]
+
+
+async def fetch_stats(address: Address, timeout: float = 2.0) -> Dict[str, object]:
+    """Fetch a broker's observability counters over the wire."""
+    host, port = address
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(writer, {"type": "stats"})
+        frame = await asyncio.wait_for(read_frame(reader), timeout=timeout)
+        if frame is None or frame.get("type") != "stats_reply":
+            raise ConnectionError(f"bad stats reply from {address}: {frame!r}")
+        frame.pop("type")
+        return frame
+    finally:
+        writer.close()
+
+
+class Publisher:
+    """A publisher proxy for a set of topics."""
+
+    def __init__(self, specs: Sequence[TopicSpec], primary: Address,
+                 backup: Address, publisher_id: str = "publisher",
+                 poll_interval: float = 0.2, reply_timeout: float = 0.2,
+                 miss_threshold: int = 3):
+        if not specs:
+            raise ValueError("publisher needs at least one topic")
+        self.specs = list(specs)
+        self.publisher_id = publisher_id
+        self.addresses = [primary, backup]
+        self.target_index = 0
+        self.poll_interval = poll_interval
+        self.reply_timeout = reply_timeout
+        self.miss_threshold = miss_threshold
+        self.failed_over = asyncio.Event()
+        self._retention: Dict[int, RingBuffer] = {
+            spec.topic_id: RingBuffer(spec.retention) for spec in self.specs
+        }
+        self._seq: Dict[int, int] = {spec.topic_id: 0 for spec in self.specs}
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._watch_task: Optional[asyncio.Task] = None
+        self._periodic_tasks: List[asyncio.Task] = []
+        self._lock = asyncio.Lock()
+
+    @property
+    def current_target(self) -> Address:
+        return self.addresses[self.target_index]
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        await self._connect()
+        self._watch_task = asyncio.create_task(self._watch())
+
+    async def close(self) -> None:
+        for task in [self._watch_task] + self._periodic_tasks:
+            if task is None:
+                continue
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._periodic_tasks.clear()
+        if self._writer is not None:
+            self._writer.close()
+
+    # ------------------------------------------------------------------
+    def start_periodic(self, payload_factory: Optional[Callable[[int, int], object]] = None) -> None:
+        """Publish each topic at its own period until :meth:`close`.
+
+        ``payload_factory(topic_id, seq)`` produces the payload; the
+        default sends ``None``.  This mirrors the simulator's sporadic
+        publisher proxies (one message per topic per period).
+        """
+        if self._periodic_tasks:
+            raise RuntimeError("periodic publishing already started")
+        for spec in self.specs:
+            self._periodic_tasks.append(
+                asyncio.create_task(self._periodic_loop(spec, payload_factory)))
+
+    async def _periodic_loop(self, spec: TopicSpec, payload_factory) -> None:
+        while True:
+            seq = self._seq[spec.topic_id] + 1
+            payload = payload_factory(spec.topic_id, seq) if payload_factory else None
+            try:
+                await self.publish({spec.topic_id: payload})
+            except (ConnectionResetError, OSError):
+                pass  # retained; the fail-over path will re-send
+            await asyncio.sleep(spec.period)
+
+    async def _connect(self) -> None:
+        host, port = self.current_target
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        await write_frame(self._writer, {"type": "hello", "role": "publisher"})
+
+    # ------------------------------------------------------------------
+    async def publish(self, payloads: Dict[int, object]) -> List[Message]:
+        """Create and send one message per topic in ``payloads``.
+
+        Returns the created messages (sequence numbers assigned).
+        Messages are retained regardless of send success, so a crash of
+        the current target never loses more than the retention allows.
+        """
+        created_at = time.time()
+        batch: List[Message] = []
+        for topic_id, payload in payloads.items():
+            if topic_id not in self._seq:
+                raise KeyError(f"topic {topic_id} not registered on this publisher")
+            self._seq[topic_id] += 1
+            message = Message(topic_id, self._seq[topic_id], created_at,
+                              data=payload)
+            self._retention[topic_id].append(message)
+            batch.append(message)
+        await self._send_batch(batch, resend=False)
+        return batch
+
+    async def _send_batch(self, batch: List[Message], resend: bool) -> None:
+        frame = {
+            "type": "publish",
+            "publisher": self.publisher_id,
+            "resend": resend,
+            "messages": [encode_message(m) for m in batch],
+        }
+        async with self._lock:
+            if self._writer is None:
+                return
+            try:
+                await write_frame(self._writer, frame)
+            except (ConnectionResetError, OSError):
+                logger.warning("%s: send failed; batch retained", self.publisher_id)
+
+    # ------------------------------------------------------------------
+    async def _watch(self) -> None:
+        misses = 0
+        nonce = 0
+        while True:
+            await asyncio.sleep(self.poll_interval)
+            nonce += 1
+            try:
+                async with self._lock:
+                    if self._writer is None:
+                        raise ConnectionResetError
+                    await write_frame(self._writer, {"type": "ping", "nonce": nonce})
+                    frame = await asyncio.wait_for(read_frame(self._reader),
+                                                   timeout=self.reply_timeout)
+                if frame is None or frame.get("type") != "pong":
+                    raise ConnectionResetError("bad pong")
+                misses = 0
+            except (OSError, asyncio.TimeoutError, ConnectionResetError,
+                    ProtocolError):
+                misses += 1
+                if misses >= self.miss_threshold and self.target_index == 0:
+                    await self._fail_over()
+                    return
+
+    async def _fail_over(self) -> None:
+        """Redirect to the Backup and re-send every retained message."""
+        logger.info("%s: failing over to backup", self.publisher_id)
+        self.target_index = 1
+        if self._writer is not None:
+            self._writer.close()
+        self._writer = None
+        while self._writer is None:
+            try:
+                await self._connect()
+            except OSError:
+                await asyncio.sleep(0.05)
+        retained: List[Message] = []
+        for ring in self._retention.values():
+            retained.extend(ring.snapshot())
+        if retained:
+            await self._send_batch(retained, resend=True)
+        self.failed_over.set()
+
+
+class Subscriber:
+    """A subscriber connected to both brokers, with dedup by (topic, seq)."""
+
+    def __init__(self, topics: Iterable[int], primary: Address, backup: Address,
+                 on_message: Optional[Callable[[Message], None]] = None,
+                 name: str = "subscriber"):
+        self.topics = list(topics)
+        self.addresses = [primary, backup]
+        self.on_message = on_message
+        self.name = name
+        self.received: Dict[int, Dict[int, float]] = {t: {} for t in self.topics}
+        self.duplicates = 0
+        self._tasks: List[asyncio.Task] = []
+        self._writers: List[asyncio.StreamWriter] = []
+
+    async def start(self) -> None:
+        for address in self.addresses:
+            self._tasks.append(asyncio.create_task(self._listen(address)))
+
+    async def close(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for writer in self._writers:
+            writer.close()
+
+    def delivered_seqs(self, topic_id: int) -> Set[int]:
+        return set(self.received.get(topic_id, ()))
+
+    async def _listen(self, address: Address) -> None:
+        host, port = address
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(0.1)
+                continue
+            self._writers.append(writer)
+            try:
+                await write_frame(writer, {"type": "hello", "role": "subscriber"})
+                await write_frame(writer, {"type": "subscribe", "topics": self.topics})
+                while True:
+                    frame = await read_frame(reader)
+                    if frame is None:
+                        break
+                    if frame["type"] == "deliver":
+                        self._on_deliver(decode_message(frame["message"]))
+            except (ConnectionResetError, OSError, ProtocolError):
+                pass
+            finally:
+                writer.close()
+            await asyncio.sleep(0.1)   # reconnect (e.g. broker restarted)
+
+    def _on_deliver(self, message: Message) -> None:
+        records = self.received.setdefault(message.topic_id, {})
+        if message.seq in records:
+            self.duplicates += 1
+            return
+        records[message.seq] = time.time() - message.created_at
+        if self.on_message is not None:
+            self.on_message(message)

@@ -1,0 +1,156 @@
+"""One-call local deployments of the runtime stack.
+
+:class:`LocalDeployment` wires a full FRAME installation on loopback
+sockets — Backup, Primary (peered), the promotion watcher, any number of
+publishers and subscribers — and tears it all down cleanly.  It is the
+runtime analogue of the simulator's experiment runner, intended for
+integration tests, demos, and small real deployments.
+
+Usage::
+
+    async with LocalDeployment(topics) as deployment:
+        publisher = await deployment.add_publisher(topics)
+        subscriber = await deployment.add_subscriber([t.topic_id for t in topics])
+        await publisher.publish({0: b"reading"})
+        ...
+        await deployment.crash_primary()   # drill fail-over
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.model import TopicSpec
+from repro.core.policy import FRAME, ConfigPolicy
+from repro.core.timing import DeadlineParameters
+from repro.runtime.broker import BACKUP, PRIMARY, BrokerServer, RuntimeBrokerConfig
+from repro.runtime.client import Publisher, Subscriber
+
+
+class LocalDeployment:
+    """A Primary/Backup pair plus clients on 127.0.0.1, fully managed."""
+
+    def __init__(self, specs: Sequence[TopicSpec],
+                 policy: ConfigPolicy = FRAME,
+                 params: Optional[DeadlineParameters] = None,
+                 host: str = "127.0.0.1",
+                 poll_interval: float = 0.1,
+                 reply_timeout: float = 0.3,
+                 miss_threshold: int = 3):
+        if not specs:
+            raise ValueError("a deployment needs at least one topic")
+        self.specs = list(specs)
+        self.topics: Dict[int, TopicSpec] = {spec.topic_id: spec
+                                             for spec in self.specs}
+        self.policy = policy
+        self.params = params if params is not None else DeadlineParameters(
+            delta_pb=0.01, delta_bb=0.01, delta_bs_edge=0.02,
+            delta_bs_cloud=0.1, failover_time=2.0)
+        self.host = host
+        self.poll_interval = poll_interval
+        self.reply_timeout = reply_timeout
+        self.miss_threshold = miss_threshold
+        self.primary: Optional[BrokerServer] = None
+        self.backup: Optional[BrokerServer] = None
+        self._publishers: List[Publisher] = []
+        self._subscribers: List[Subscriber] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "LocalDeployment":
+        if self._started:
+            raise RuntimeError("deployment already started")
+        self.backup = BrokerServer(self.host, 0, RuntimeBrokerConfig(
+            topics=self.topics, policy=self.policy, params=self.params,
+            poll_interval=self.poll_interval, reply_timeout=self.reply_timeout,
+            miss_threshold=self.miss_threshold,
+        ), role=BACKUP, name="backup")
+        await self.backup.start()
+        self.primary = BrokerServer(self.host, 0, RuntimeBrokerConfig(
+            topics=self.topics, policy=self.policy, params=self.params,
+            peer_address=self.backup.address,
+        ), role=PRIMARY, name="primary")
+        await self.primary.start()
+        self.backup.config.watch_address = self.primary.address
+        self.backup._tasks.append(
+            asyncio.create_task(self.backup._watch_primary()))
+        await asyncio.sleep(0.05)   # let the peer link establish
+        self._started = True
+        return self
+
+    async def close(self) -> None:
+        for publisher in self._publishers:
+            await publisher.close()
+        for subscriber in self._subscribers:
+            await subscriber.close()
+        if self.primary is not None:
+            await self.primary.close()
+        if self.backup is not None:
+            await self.backup.close()
+        self._started = False
+
+    async def __aenter__(self) -> "LocalDeployment":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError("deployment not started")
+
+    async def add_publisher(self, specs: Optional[Sequence[TopicSpec]] = None,
+                            publisher_id: Optional[str] = None) -> Publisher:
+        """Attach a publisher proxy for ``specs`` (default: all topics)."""
+        self._require_started()
+        publisher = Publisher(
+            list(specs) if specs is not None else self.specs,
+            self.primary.address, self.backup.address,
+            publisher_id=publisher_id or f"publisher-{len(self._publishers)}",
+            poll_interval=self.poll_interval,
+            reply_timeout=self.reply_timeout,
+            miss_threshold=self.miss_threshold,
+        )
+        await publisher.start()
+        self._publishers.append(publisher)
+        return publisher
+
+    async def add_subscriber(self, topic_ids: Optional[Iterable[int]] = None,
+                             on_message=None,
+                             name: Optional[str] = None) -> Subscriber:
+        """Attach a subscriber for ``topic_ids`` (default: all topics)."""
+        self._require_started()
+        subscriber = Subscriber(
+            list(topic_ids) if topic_ids is not None else list(self.topics),
+            self.primary.address, self.backup.address,
+            on_message=on_message,
+            name=name or f"subscriber-{len(self._subscribers)}",
+        )
+        await subscriber.start()
+        self._subscribers.append(subscriber)
+        # Give the subscription frames a moment to land on both brokers.
+        await asyncio.sleep(0.05)
+        return subscriber
+
+    # ------------------------------------------------------------------
+    async def crash_primary(self, wait_for_failover: bool = True,
+                            timeout: float = 10.0) -> None:
+        """Fail-stop the Primary; optionally wait until the Backup has
+        promoted and every publisher has redirected."""
+        self._require_started()
+        await self.primary.close()
+        if not wait_for_failover:
+            return
+        await asyncio.wait_for(self.backup.promoted.wait(), timeout=timeout)
+        for publisher in self._publishers:
+            await asyncio.wait_for(publisher.failed_over.wait(), timeout=timeout)
+
+    def current_primary(self) -> BrokerServer:
+        """The broker currently acting as Primary."""
+        self._require_started()
+        if self.primary is not None and self.primary.role == PRIMARY \
+                and not self.primary._closed:
+            return self.primary
+        return self.backup

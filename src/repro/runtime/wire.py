@@ -1,0 +1,76 @@
+"""Wire protocol: length-prefixed JSON frames over TCP.
+
+Every frame is a 4-byte big-endian length followed by a UTF-8 JSON
+object with a ``"type"`` discriminator.  JSON keeps the protocol
+inspectable with standard tools; the 16-byte payloads of the paper's
+workloads make encoding cost irrelevant here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.core.model import Message
+
+#: Upper bound on a single frame; protects brokers from rogue peers.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized frame."""
+
+
+def encode_message(message: Message) -> Dict[str, Any]:
+    return {
+        "topic": message.topic_id,
+        "seq": message.seq,
+        "created_at": message.created_at,
+        "payload": message.data,
+    }
+
+
+def decode_message(obj: Dict[str, Any]) -> Message:
+    try:
+        return Message(
+            topic_id=int(obj["topic"]),
+            seq=int(obj["seq"]),
+            created_at=float(obj["created_at"]),
+            data=obj.get("payload"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad message object: {obj!r}") from exc
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
+    data = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds limit")
+    writer.write(_LENGTH.pack(len(data)) + data)
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; returns ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    try:
+        data = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    try:
+        frame = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("undecodable frame") from exc
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise ProtocolError(f"frame without type: {frame!r}")
+    return frame

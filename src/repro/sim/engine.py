@@ -1,0 +1,168 @@
+"""The discrete-event engine: an event heap and a simulated clock.
+
+The engine executes callbacks in nondecreasing simulated-time order.  Ties
+are broken by insertion order, which makes every run fully deterministic.
+Time is a ``float`` number of seconds; the helpers in
+:mod:`repro.core.units` convert the paper's millisecond parameters.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.rng import RngRegistry
+
+
+class ScheduledCall:
+    """A cancellable handle for a callback scheduled on the engine."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.time:.6f} seq={self.seq} {state} {self.fn!r}>"
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Responsibilities:
+
+    * maintain the simulated clock (:attr:`now`, seconds),
+    * order and run scheduled callbacks (:meth:`call_at`, :meth:`call_after`,
+      :meth:`call_soon`),
+    * spawn generator-based processes (:meth:`spawn`, see
+      :mod:`repro.sim.process`),
+    * hand out named, reproducible random streams (:meth:`rng`).
+
+    The engine stops when the heap drains or when the ``until`` horizon of
+    :meth:`run` is reached, whichever comes first.
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0):
+        self.now: float = start_time
+        self._heap: list[ScheduledCall] = []
+        self._seq: int = 0
+        self._rngs = RngRegistry(seed)
+        self.seed = seed
+        self._running = False
+        self._processes: list = []  # populated by Process for bookkeeping
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``.
+
+        Scheduling in the past is an error: allowing it would silently
+        reorder cause and effect.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} before now={self.now}")
+        self._seq += 1
+        call = ScheduledCall(time, self._seq, fn, args)
+        heapq.heappush(self._heap, call)
+        return call
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.call_at(self.now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at the current time, after queued events."""
+        return self.call_at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Processes and randomness
+    # ------------------------------------------------------------------
+    def spawn(self, generator: Iterator, name: str = "", host=None):
+        """Start a generator-based process.  See :class:`repro.sim.process.Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name, host=host)
+
+    def rng(self, stream: str):
+        """Return the named random stream (a ``random.Random``).
+
+        The same ``(seed, stream)`` pair always yields the same sequence,
+        independent of how many other streams exist or in what order they
+        were created.
+        """
+        return self._rngs.stream(stream)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next event.  Returns ``False`` if the heap is empty."""
+        heap = self._heap
+        while heap:
+            call = heapq.heappop(heap)
+            if call.cancelled:
+                continue
+            self.now = call.time
+            call.fn(*call.args)
+            return True
+        return False
+
+    def run(self, until: float = math.inf) -> float:
+        """Run events until the heap drains or simulated time reaches ``until``.
+
+        Returns the simulated time at which execution stopped.  When the
+        horizon is reached, the clock is advanced exactly to ``until`` so
+        measurement windows line up.
+        """
+        if self._running:
+            raise RuntimeError("engine is already running (re-entrant run())")
+        self._running = True
+        heap = self._heap
+        try:
+            while heap:
+                call = heap[0]
+                if call.time > until:
+                    break
+                heapq.heappop(heap)
+                if call.cancelled:
+                    continue
+                self.now = call.time
+                call.fn(*call.args)
+        finally:
+            self._running = False
+        if until is not math.inf and self.now < until:
+            self.now = until
+        return self.now
+
+    def pending_events(self) -> int:
+        """Number of scheduled (non-cancelled) events still on the heap."""
+        return sum(1 for call in self._heap if not call.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Simulated time of the next runnable event, or ``None`` if drained."""
+        for call in self._heap:
+            if not call.cancelled:
+                break
+        else:
+            return None
+        # The heap head may be cancelled; find the true minimum lazily.
+        live = [c for c in self._heap if not c.cancelled]
+        return min(live).time if live else None

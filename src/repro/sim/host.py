@@ -1,0 +1,64 @@
+"""Crashable simulation hosts.
+
+A :class:`Host` groups the processes of one machine so that a fail-stop
+crash (the paper injects ``SIGKILL`` into the Primary broker) kills all of
+them atomically.  The network layer consults :attr:`Host.alive` at delivery
+time: packets addressed to a dead host vanish, exactly as with a crashed
+OS.  Hosts also carry their local clock (attached by :mod:`repro.clocks`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Host:
+    """One machine in the simulated testbed."""
+
+    def __init__(self, engine, name: str):
+        self.engine = engine
+        self.name = name
+        self.alive = True
+        self.crash_time: Optional[float] = None
+        self.processes: List = []
+        self.clock = None  # attached by repro.clocks.attach_clock
+
+    # ------------------------------------------------------------------
+    def _attach(self, proc) -> None:
+        self.processes.append(proc)
+
+    def _detach(self, proc) -> None:
+        try:
+            self.processes.remove(proc)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: kill every process on this host.  Idempotent.
+
+        There is deliberately no restart: the paper's fault model promotes
+        the Backup and never brings the failed Primary back within a run.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crash_time = self.engine.now
+        for proc in list(self.processes):
+            proc.kill()
+        self.processes.clear()
+
+    def now(self) -> float:
+        """This host's local clock reading (true time if no clock attached).
+
+        All application-level timestamps (message creation times, deadline
+        bookkeeping) must go through this method so that clock offset and
+        drift affect them the same way they would on real hardware.
+        """
+        if self.clock is None:
+            return self.engine.now
+        return self.clock.now()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.alive else f"crashed@{self.crash_time:.3f}"
+        return f"<Host {self.name} {state}>"

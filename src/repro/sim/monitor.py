@@ -1,0 +1,135 @@
+"""Measurement instruments for simulation runs.
+
+These are deliberately simple containers; statistical reduction (means,
+confidence intervals) lives in :mod:`repro.metrics.stats` so that the same
+reduction code serves both simulated and wall-clock (runtime) data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        """Samples with ``t0 <= time < t1``, as a new series."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self.times, self.values):
+            if t0 <= t < t1:
+                out.record(t, v)
+        return out
+
+    def min(self) -> float:
+        return min(self.values)
+
+    def max(self) -> float:
+        return max(self.values)
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+
+class Counter:
+    """A windowed event counter.
+
+    Counts every event, and separately counts events whose timestamp falls
+    inside the measuring window (set once before the run).
+    """
+
+    __slots__ = ("name", "total", "in_window", "_t0", "_t1")
+
+    def __init__(self, name: str = "", window: Optional[Tuple[float, float]] = None):
+        self.name = name
+        self.total = 0
+        self.in_window = 0
+        self._t0, self._t1 = window if window else (-math.inf, math.inf)
+
+    def set_window(self, t0: float, t1: float) -> None:
+        self._t0, self._t1 = t0, t1
+
+    def increment(self, time: float, amount: int = 1) -> None:
+        self.total += amount
+        if self._t0 <= time < self._t1:
+            self.in_window += amount
+
+
+class UtilizationMeter:
+    """Accumulates busy time of a module, clipped to the measuring window.
+
+    ``capacity`` is the number of cores the module owns; ``utilization()``
+    reports busy time as a fraction of ``capacity * window``, matching the
+    per-module CPU utilization of the paper's Fig. 7.
+    """
+
+    __slots__ = ("name", "capacity", "busy", "_t0", "_t1")
+
+    def __init__(self, name: str, capacity: float = 1.0,
+                 window: Optional[Tuple[float, float]] = None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.busy = 0.0
+        self._t0, self._t1 = window if window else (-math.inf, math.inf)
+
+    def set_window(self, t0: float, t1: float) -> None:
+        self._t0, self._t1 = t0, t1
+
+    def add_busy(self, start: float, end: float) -> None:
+        """Record a busy interval; only the part inside the window counts."""
+        lo = max(start, self._t0)
+        hi = min(end, self._t1)
+        if hi > lo:
+            self.busy += hi - lo
+
+    def utilization(self) -> float:
+        """Busy fraction of the module's total capacity over the window."""
+        width = self._t1 - self._t0
+        if not math.isfinite(width) or width <= 0:
+            raise ValueError("utilization requires a finite measuring window")
+        return self.busy / (width * self.capacity)
+
+
+class WindowAccumulator:
+    """Collects raw values stamped inside the measuring window."""
+
+    __slots__ = ("name", "values", "_t0", "_t1")
+
+    def __init__(self, name: str = "", window: Optional[Tuple[float, float]] = None):
+        self.name = name
+        self.values: List[float] = []
+        self._t0, self._t1 = window if window else (-math.inf, math.inf)
+
+    def set_window(self, t0: float, t1: float) -> None:
+        self._t0, self._t1 = t0, t1
+
+    def add(self, time: float, value: float) -> None:
+        if self._t0 <= time < self._t1:
+            self.values.append(value)
+
+    def extend(self, time: float, values: Iterable[float]) -> None:
+        if self._t0 <= time < self._t1:
+            self.values.extend(values)
+
+    def __len__(self) -> int:
+        return len(self.values)

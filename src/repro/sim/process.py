@@ -1,0 +1,305 @@
+"""Generator-based simulation processes and synchronization primitives.
+
+A process is a Python generator driven by the engine.  It suspends by
+yielding a *waitable*:
+
+* :class:`Timeout` — resume after a simulated delay (models busy time or
+  sleeping),
+* :class:`Signal` — a one-shot event carrying a value (late waiters resume
+  immediately),
+* :class:`Notify` — a repeating wake-up broadcast,
+* :class:`Queue` — an unbounded FIFO with blocking ``get()``,
+* :class:`AnyOf` / :class:`AllOf` — composition of the above.
+
+Processes are killable (fail-stop crashes are modeled by killing every
+process on a host); a killed process never resumes, and any timer it was
+waiting on is cancelled.  Stale wake-ups are guarded by a per-process wait
+epoch, so primitives may be conservative about bookkeeping without risk of
+double-resuming a process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterator, List, Sequence, Tuple
+
+
+class ProcessKilled(Exception):
+    """Raised by :meth:`Process.result` when the process was killed."""
+
+
+class Waitable:
+    """Base interface for objects a process may ``yield``."""
+
+    def _add_callback(self, fn: Callable[[Any], None]) -> None:
+        raise NotImplementedError
+
+    def _subscribe(self, proc: "Process") -> None:
+        epoch = proc._epoch
+        engine = proc.engine
+
+        def _wake(value: Any) -> None:
+            engine.call_soon(proc._resume, epoch, value)
+
+        self._add_callback(_wake)
+
+
+class Timeout(Waitable):
+    """Resume the waiting process after ``delay`` seconds, with ``value``."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def _subscribe(self, proc: "Process") -> None:
+        proc._pending = proc.engine.call_after(self.delay, proc._resume, proc._epoch, self.value)
+
+    def _add_callback(self, fn: Callable[[Any], None]) -> None:
+        # Only used through composition (AnyOf/AllOf), where the composite
+        # supplies the engine context via a bound callback.
+        raise NotImplementedError("bare Timeout supports only direct yield; wrap in AnyOf/AllOf")
+
+
+class Signal(Waitable):
+    """A one-shot event.  ``fire(value)`` wakes all waiters with ``value``.
+
+    A process that yields an already-fired signal resumes immediately with
+    the stored value, so there is no race between firing and waiting.
+    """
+
+    __slots__ = ("engine", "fired", "value", "_callbacks")
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.fired = False
+        self.value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            raise RuntimeError("Signal fired twice")
+        self.fired = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(value)
+
+    def _add_callback(self, fn: Callable[[Any], None]) -> None:
+        if self.fired:
+            fn(self.value)
+        else:
+            self._callbacks.append(fn)
+
+
+class Notify(Waitable):
+    """A repeating broadcast: each ``notify(value)`` wakes current waiters."""
+
+    __slots__ = ("engine", "_callbacks")
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    def notify(self, value: Any = None) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(value)
+
+    def _add_callback(self, fn: Callable[[Any], None]) -> None:
+        self._callbacks.append(fn)
+
+
+class _QueueGet(Waitable):
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: "Queue"):
+        self.queue = queue
+
+    def _subscribe(self, proc: "Process") -> None:
+        q = self.queue
+        if q._items:
+            proc.engine.call_soon(proc._resume, proc._epoch, q._items.popleft())
+        else:
+            q._getters.append((proc, proc._epoch))
+
+
+class Queue:
+    """An unbounded FIFO queue with blocking ``get()``.
+
+    ``put`` never blocks.  When getters are waiting, an item is handed to
+    the oldest live getter; otherwise it is buffered.
+    """
+
+    __slots__ = ("engine", "_items", "_getters")
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._items: deque = deque()
+        self._getters: deque = deque()  # (process, epoch) pairs
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            proc, epoch = self._getters.popleft()
+            if proc.alive and epoch == proc._epoch:
+                self.engine.call_soon(proc._resume, epoch, item)
+                return
+        self._items.append(item)
+
+    def get(self) -> _QueueGet:
+        """Return a waitable that resolves to the next item (FIFO)."""
+        return _QueueGet(self)
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking pop: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class AnyOf(Waitable):
+    """Wait until any one of several waitables resolves.
+
+    Resolves to ``(index, value)`` of the first waitable to complete.  The
+    losers' wake-ups are absorbed.  :class:`Timeout` members are supported,
+    which makes ``AnyOf`` the building block for poll-with-timeout loops.
+    """
+
+    def __init__(self, engine, waitables: Sequence[Waitable]):
+        if not waitables:
+            raise ValueError("AnyOf requires at least one waitable")
+        self.engine = engine
+        self.waitables = list(waitables)
+
+    def _add_callback(self, fn: Callable[[Any], None]) -> None:
+        resolved = [False]
+
+        def make_winner(index: int) -> Callable[[Any], None]:
+            def winner(value: Any) -> None:
+                if resolved[0]:
+                    return
+                resolved[0] = True
+                fn((index, value))
+
+            return winner
+
+        for index, waitable in enumerate(self.waitables):
+            if isinstance(waitable, Timeout):
+                self.engine.call_after(waitable.delay, make_winner(index), waitable.value)
+            else:
+                waitable._add_callback(make_winner(index))
+
+
+class AllOf(Waitable):
+    """Wait until every member waitable resolves; value is the list of values."""
+
+    def __init__(self, engine, waitables: Sequence[Waitable]):
+        if not waitables:
+            raise ValueError("AllOf requires at least one waitable")
+        self.engine = engine
+        self.waitables = list(waitables)
+
+    def _add_callback(self, fn: Callable[[Any], None]) -> None:
+        remaining = [len(self.waitables)]
+        values: List[Any] = [None] * len(self.waitables)
+
+        def make_collector(index: int) -> Callable[[Any], None]:
+            def collector(value: Any) -> None:
+                values[index] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    fn(values)
+
+            return collector
+
+        for index, waitable in enumerate(self.waitables):
+            if isinstance(waitable, Timeout):
+                self.engine.call_after(waitable.delay, make_collector(index), waitable.value)
+            else:
+                waitable._add_callback(make_collector(index))
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    The process is started on the next engine step after construction.  Use
+    :attr:`done` (a :class:`Signal`) to join on completion; :attr:`value`
+    holds the generator's return value once finished.
+    """
+
+    __slots__ = ("engine", "gen", "name", "host", "alive", "killed", "value", "done",
+                 "_epoch", "_pending")
+
+    def __init__(self, engine, gen: Iterator, name: str = "", host=None):
+        self.engine = engine
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.host = host
+        self.alive = True
+        self.killed = False
+        self.value: Any = None
+        self.done = Signal(engine)
+        self._epoch = 0
+        self._pending = None
+        engine._processes.append(self)
+        if host is not None:
+            host._attach(self)
+        engine.call_soon(self._resume, 0, None)
+
+    # ------------------------------------------------------------------
+    def _resume(self, epoch: int, value: Any) -> None:
+        if not self.alive or epoch != self._epoch:
+            return
+        self._pending = None
+        try:
+            item = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        if not isinstance(item, Waitable):
+            raise TypeError(
+                f"process {self.name!r} yielded {item!r}; processes must yield Waitable objects"
+            )
+        self._epoch += 1
+        item._subscribe(self)
+
+    def _finish(self, value: Any) -> None:
+        self.alive = False
+        self.value = value
+        if self.host is not None:
+            self.host._detach(self)
+        self.done.fire(value)
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Stop the process immediately (fail-stop).  Idempotent."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.killed = True
+        self._epoch += 1
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.gen.close()
+        if self.host is not None:
+            self.host._detach(self)
+        self.done.fire(None)
+
+    def result(self) -> Any:
+        """Return value of a finished process; raises if killed or running."""
+        if self.killed:
+            raise ProcessKilled(f"process {self.name!r} was killed")
+        if self.alive:
+            raise RuntimeError(f"process {self.name!r} is still running")
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else ("killed" if self.killed else "done")
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,86 @@
+"""Structured event tracing for simulation debugging.
+
+A :class:`Tracer` records labeled trace points emitted by application
+code (brokers, actors) with their simulated timestamps.  It is opt-in and
+zero-cost when absent: components call ``trace(...)`` through a module
+function that no-ops unless a tracer is installed on the engine.
+
+Typical use::
+
+    tracer = Tracer.install(engine, capacity=10_000)
+    ... run ...
+    for record in tracer.query(kind="dispatch"):
+        print(record)
+
+Tracing also underpins the determinism tests: two runs with the same seed
+must produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterator, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    """One trace point."""
+
+    time: float
+    kind: str
+    subject: str
+    detail: Any
+
+
+class Tracer:
+    """A bounded in-memory trace buffer attached to an engine."""
+
+    def __init__(self, engine, capacity: int = 100_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    @classmethod
+    def install(cls, engine, capacity: int = 100_000) -> "Tracer":
+        """Create a tracer and attach it to the engine (one per engine)."""
+        tracer = cls(engine, capacity)
+        engine._tracer = tracer
+        return tracer
+
+    @staticmethod
+    def uninstall(engine) -> None:
+        if hasattr(engine, "_tracer"):
+            del engine._tracer
+
+    def record(self, kind: str, subject: str, detail: Any = None) -> None:
+        if len(self.records) == self.capacity:
+            self.dropped += 1
+        self.records.append(TraceRecord(self.engine.now, kind, subject, detail))
+
+    # ------------------------------------------------------------------
+    def query(self, kind: Optional[str] = None,
+              subject: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Records matching the given kind and/or subject, in time order."""
+        for record in self.records:
+            if kind is not None and record.kind != kind:
+                continue
+            if subject is not None and record.subject != subject:
+                continue
+            yield record
+
+    def as_lines(self) -> List[str]:
+        """Human-readable one-line-per-record rendering."""
+        return [f"{r.time:.9f} {r.kind:<12} {r.subject} {r.detail if r.detail is not None else ''}".rstrip()
+                for r in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def trace(engine, kind: str, subject: str, detail: Any = None) -> None:
+    """Emit a trace point if a tracer is installed; otherwise a no-op."""
+    tracer = getattr(engine, "_tracer", None)
+    if tracer is not None:
+        tracer.record(kind, subject, detail)

@@ -1,0 +1,24 @@
+"""A TAO-real-time-event-service-style facade over the FRAME broker.
+
+The paper implements FRAME *inside* the TAO real-time event service
+(Sec. V, Fig. 5): the Supplier Proxies and Consumer Proxies keep their
+original push-style interfaces, while the Subscription & Filtering, Event
+Correlation, and Dispatching modules are replaced by FRAME's Message
+Proxy and Message Delivery.  This package mirrors that integration so
+code written against an event-channel API (suppliers pushing events,
+consumers connecting push callbacks) runs on FRAME unchanged.
+"""
+
+from repro.tao.channel import (
+    Event,
+    EventChannel,
+    ProxyPushConsumer,
+    ProxyPushSupplier,
+)
+
+__all__ = [
+    "Event",
+    "EventChannel",
+    "ProxyPushConsumer",
+    "ProxyPushSupplier",
+]

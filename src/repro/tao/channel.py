@@ -1,0 +1,161 @@
+"""The event-channel facade (paper Fig. 5).
+
+Terminology follows TAO's event service:
+
+* a **supplier** obtains a :class:`ProxyPushConsumer` from the channel and
+  ``push``-es :class:`Event` objects into it;
+* a **consumer** obtains a :class:`ProxyPushSupplier` and connects a push
+  callback for the event types (topics) it subscribes to;
+* the channel body — here the FRAME Primary/Backup broker pair — delivers
+  events subject to each type's latency/loss-tolerance requirements.
+
+Events are mapped onto FRAME messages one-to-one: the event ``type_id``
+is the topic, and the channel assigns per-type sequence numbers in push
+order (suppliers of the same type share one sequence, as a single
+publisher proxy would).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.broker import BACKUP, PRIMARY, Broker
+from repro.core.config import SystemConfig
+from repro.core.model import Message, TopicSpec
+from repro.core.protocol import Deliver, PublishBatch
+
+
+class Event:
+    """One event: a typed payload with its creation timestamp."""
+
+    __slots__ = ("type_id", "source", "data", "created_at")
+
+    def __init__(self, type_id: int, data=None, source: str = "",
+                 created_at: Optional[float] = None):
+        self.type_id = type_id
+        self.source = source
+        self.data = data
+        self.created_at = created_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Event type={self.type_id} source={self.source!r}>"
+
+
+class ProxyPushConsumer:
+    """The channel-side endpoint a supplier pushes events into."""
+
+    def __init__(self, channel: "EventChannel", supplier_host):
+        self._channel = channel
+        self._host = supplier_host
+        self.connected = True
+
+    def push(self, event: Event) -> None:
+        """Push one event into the channel (TAO ``PushConsumer::push``)."""
+        if not self.connected:
+            raise RuntimeError("supplier proxy is disconnected")
+        self._channel._ingest(event, self._host)
+
+    def disconnect_push_consumer(self) -> None:
+        self.connected = False
+
+
+class ProxyPushSupplier:
+    """The channel-side endpoint that pushes events to one consumer."""
+
+    def __init__(self, channel: "EventChannel", consumer_host, index: int):
+        self._channel = channel
+        self._host = consumer_host
+        self._index = index
+        self._callback: Optional[Callable[[Event], None]] = None
+        self.address = f"{channel.name}/consumer-{index}"
+        self.subscribed_types: Tuple[int, ...] = ()
+
+    def connect_push_consumer(self, callback: Callable[[Event], None],
+                              type_ids) -> None:
+        """Register the consumer's push callback for a set of event types."""
+        if self._callback is not None:
+            raise RuntimeError("consumer already connected")
+        self._callback = callback
+        self.subscribed_types = tuple(type_ids)
+        self._channel._network.register(self._host, self.address, self._on_deliver)
+        for type_id in self.subscribed_types:
+            self._channel._subscribe(type_id, self.address)
+
+    def disconnect_push_supplier(self) -> None:
+        self._channel._network.unregister(self.address)
+        self._callback = None
+
+    def _on_deliver(self, deliver: Deliver) -> None:
+        if self._callback is None:
+            return
+        message = deliver.message
+        self._callback(Event(type_id=message.topic_id, data=message.data,
+                             created_at=message.created_at))
+
+
+class EventChannel:
+    """A FRAME-backed event channel (one Primary + one Backup broker).
+
+    The channel owns the requirement specifications: each event type must
+    be declared in ``config.topics`` before suppliers may push it —
+    pushing an undeclared type raises, because without a spec there is no
+    deadline or loss-tolerance contract to honor.
+    """
+
+    def __init__(self, engine, network, primary_host, backup_host,
+                 config: SystemConfig, name: str = "channel"):
+        self.engine = engine
+        self.name = name
+        self._network = network
+        self._config = config
+        self._sequences: Dict[int, int] = {}
+        self._consumer_count = 0
+        # The brokers consult config.subscriptions live, so consumers may
+        # connect after construction.
+        config.subscriptions = dict(config.subscriptions)
+        self.primary = Broker(engine, primary_host, network, config,
+                              name=f"{name}-B1", role=PRIMARY,
+                              peer_name=f"{name}-B2")
+        self.backup = Broker(engine, backup_host, network, config,
+                             name=f"{name}-B2", role=BACKUP, peer_name=None)
+        self.primary.stats.set_window(0.0, float("inf"))
+        self.backup.stats.set_window(0.0, float("inf"))
+
+    # ------------------------------------------------------------------
+    # Admin interfaces (TAO SupplierAdmin / ConsumerAdmin)
+    # ------------------------------------------------------------------
+    def obtain_push_consumer(self, supplier_host) -> ProxyPushConsumer:
+        """For suppliers: the endpoint to push events into."""
+        return ProxyPushConsumer(self, supplier_host)
+
+    def obtain_push_supplier(self, consumer_host) -> ProxyPushSupplier:
+        """For consumers: the endpoint to connect a push callback to."""
+        proxy = ProxyPushSupplier(self, consumer_host, self._consumer_count)
+        self._consumer_count += 1
+        return proxy
+
+    # ------------------------------------------------------------------
+    def declared_types(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._config.topics))
+
+    def spec_of(self, type_id: int) -> TopicSpec:
+        return self._config.topics[type_id]
+
+    # ------------------------------------------------------------------
+    def _ingest(self, event: Event, supplier_host) -> None:
+        if event.type_id not in self._config.topics:
+            raise KeyError(
+                f"event type {event.type_id} has no declared requirement spec"
+            )
+        seq = self._sequences.get(event.type_id, 0) + 1
+        self._sequences[event.type_id] = seq
+        created_at = (event.created_at if event.created_at is not None
+                      else supplier_host.now())
+        message = Message(event.type_id, seq, created_at, data=event.data)
+        self._network.send(supplier_host, self.primary.ingress_address,
+                           PublishBatch(event.source or "supplier", [message]))
+
+    def _subscribe(self, type_id: int, address: str) -> None:
+        existing = self._config.subscriptions.get(type_id, ())
+        if address not in existing:
+            self._config.subscriptions[type_id] = tuple(existing) + (address,)

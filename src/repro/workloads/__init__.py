@@ -1,0 +1,19 @@
+"""Workload generation: the Table 2 topic categories and evaluation sweeps."""
+
+from repro.workloads.spec import (
+    CATEGORIES,
+    PAPER_WORKLOADS,
+    CategorySpec,
+    ProxyGroup,
+    Workload,
+    build_workload,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CategorySpec",
+    "PAPER_WORKLOADS",
+    "ProxyGroup",
+    "Workload",
+    "build_workload",
+]

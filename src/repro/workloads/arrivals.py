@@ -1,0 +1,74 @@
+"""Sporadic arrival-pattern models for publisher proxies.
+
+The paper's traffic model is *sporadic*: inter-creation times are at
+least the topic period ``Ti`` (Sec. III-A).  Lemma 1's proof depends on
+that lower bound, so every model here guarantees ``gap >= Ti`` by
+construction — they differ only in how much extra idle time they insert
+and how it clusters.
+
+* :class:`PeriodicJitter` — the default: ``Ti * (1 + U[0, jitter])``.
+* :class:`SporadicExponential` — ``Ti`` plus an exponential idle excess
+  (memoryless sensors that fire when something happens).
+* :class:`BurstyArrivals` — alternates dense phases (gaps at exactly
+  ``Ti``) with idle phases (multiples of ``Ti``), modeling event showers.
+"""
+
+from __future__ import annotations
+
+
+class ArrivalModel:
+    """Interface: ``next_gap(rng, period) -> seconds`` with gap >= period."""
+
+    def next_gap(self, rng, period: float) -> float:
+        raise NotImplementedError
+
+
+class PeriodicJitter(ArrivalModel):
+    """Nearly periodic traffic with a small uniform positive jitter."""
+
+    def __init__(self, jitter_fraction: float = 0.01):
+        if jitter_fraction < 0:
+            raise ValueError("jitter_fraction must be >= 0")
+        self.jitter_fraction = jitter_fraction
+
+    def next_gap(self, rng, period: float) -> float:
+        return period * (1.0 + rng.uniform(0.0, self.jitter_fraction))
+
+
+class SporadicExponential(ArrivalModel):
+    """``Ti`` plus exponential idle excess with mean ``excess_mean * Ti``."""
+
+    def __init__(self, excess_mean: float = 0.5):
+        if excess_mean < 0:
+            raise ValueError("excess_mean must be >= 0")
+        self.excess_mean = excess_mean
+
+    def next_gap(self, rng, period: float) -> float:
+        if self.excess_mean == 0:
+            return period
+        return period + rng.expovariate(1.0 / (self.excess_mean * period))
+
+
+class BurstyArrivals(ArrivalModel):
+    """Event showers: runs of back-to-back messages separated by idles.
+
+    During a burst, gaps are exactly ``Ti`` (the sporadic minimum — the
+    hardest case for the broker); between bursts the source idles for
+    ``idle_periods`` periods on average (geometrically distributed burst
+    lengths keep the model memoryless per call).
+    """
+
+    def __init__(self, burst_length_mean: float = 5.0,
+                 idle_periods: float = 10.0):
+        if burst_length_mean < 1.0:
+            raise ValueError("burst_length_mean must be >= 1")
+        if idle_periods < 0:
+            raise ValueError("idle_periods must be >= 0")
+        self.burst_length_mean = burst_length_mean
+        self.idle_periods = idle_periods
+
+    def next_gap(self, rng, period: float) -> float:
+        continue_burst = rng.random() < 1.0 - 1.0 / self.burst_length_mean
+        if continue_burst:
+            return period
+        return period * (1.0 + rng.uniform(0.5, 1.5) * self.idle_periods)

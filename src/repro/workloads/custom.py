@@ -1,0 +1,93 @@
+"""User-defined workloads: load/save topic specifications as JSON.
+
+Downstream deployments rarely match Table 2 exactly; this module lets
+them describe their own topic sets declaratively and run the same
+admission analysis / simulation / capacity planning on them.
+
+File format — a JSON object::
+
+    {
+      "topics": [
+        {"topic_id": 0, "period_ms": 50, "deadline_ms": 50,
+         "loss_tolerance": 0, "retention": 2,
+         "destination": "edge", "category": 0},
+        {"topic_id": 5, "period_ms": 500, "deadline_ms": 500,
+         "loss_tolerance": "inf", "retention": 0, "destination": "cloud"}
+      ]
+    }
+
+Times are **milliseconds** in the file (the paper's unit) and seconds in
+memory.  ``loss_tolerance`` accepts the string ``"inf"`` for best-effort
+topics.  ``category`` is optional.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.core.model import EDGE, LOSS_UNBOUNDED, TopicSpec
+from repro.core.units import ms, to_ms
+
+
+class WorkloadFormatError(ValueError):
+    """The file does not describe a valid topic set."""
+
+
+def spec_to_obj(spec: TopicSpec) -> Dict[str, Any]:
+    return {
+        "topic_id": spec.topic_id,
+        "period_ms": to_ms(spec.period),
+        "deadline_ms": to_ms(spec.deadline),
+        "loss_tolerance": ("inf" if spec.best_effort
+                           else int(spec.loss_tolerance)),
+        "retention": spec.retention,
+        "destination": spec.destination,
+        "category": spec.category,
+    }
+
+
+def obj_to_spec(obj: Dict[str, Any]) -> TopicSpec:
+    try:
+        loss = obj["loss_tolerance"]
+        if isinstance(loss, str):
+            if loss.lower() not in ("inf", "infinity"):
+                raise WorkloadFormatError(f"bad loss_tolerance {loss!r}")
+            loss = LOSS_UNBOUNDED
+        return TopicSpec(
+            topic_id=int(obj["topic_id"]),
+            period=ms(float(obj["period_ms"])),
+            deadline=ms(float(obj["deadline_ms"])),
+            loss_tolerance=loss,
+            retention=int(obj.get("retention", 0)),
+            destination=obj.get("destination", EDGE),
+            category=int(obj.get("category", -1)),
+        )
+    except WorkloadFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadFormatError(f"bad topic object {obj!r}: {exc}") from exc
+
+
+def load_topics(path: str) -> List[TopicSpec]:
+    """Load a topic set from a JSON file (see module docstring)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "topics" not in document:
+        raise WorkloadFormatError('expected a JSON object with a "topics" list')
+    topics = document["topics"]
+    if not isinstance(topics, list) or not topics:
+        raise WorkloadFormatError('"topics" must be a non-empty list')
+    specs = [obj_to_spec(obj) for obj in topics]
+    ids = [spec.topic_id for spec in specs]
+    if len(set(ids)) != len(ids):
+        duplicates = sorted({i for i in ids if ids.count(i) > 1})
+        raise WorkloadFormatError(f"duplicate topic ids: {duplicates}")
+    return specs
+
+
+def save_topics(specs: Sequence[TopicSpec], path: str) -> None:
+    """Write a topic set to a JSON file (round-trips with load_topics)."""
+    document = {"topics": [spec_to_obj(spec) for spec in specs]}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)

@@ -1,0 +1,156 @@
+"""The evaluation workloads (paper Table 2 and Sec. VI).
+
+Six topic categories::
+
+    cat  Ti(ms)  Di(ms)  Li    Ni  destination
+    0    50      50      0     2   edge       (emergency-response)
+    1    50      50      3     0   edge
+    2    100     100     0     1   edge       (monitoring)
+    3    100     100     3     0   edge
+    4    100     100     inf   0   edge       (best-effort)
+    5    500     500     0     1   cloud      (logging)
+
+``Ni`` is the minimum admissible retention (Table 2's fifth column; the
+admission tests verify this).  A workload of ``W`` total topics has ten
+topics each in categories 0 and 1, five in category 5, and splits the
+remaining ``W - 25`` evenly across categories 2-4.  Publishers are proxies
+of 10 topics (categories 0/1), 50 topics (categories 2-4), or one topic
+(category 5), each sending one message per topic per period in a batch.
+
+``scale`` shrinks the sensor categories (2-4) for laptop-size simulation
+while :meth:`repro.core.config.CostModel.calibrated` inflates service
+demands by ``1/scale``, preserving broker utilization (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.model import CLOUD, EDGE, LOSS_UNBOUNDED, TopicSpec
+from repro.core.units import ms
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """One Table 2 row (times in seconds)."""
+
+    category: int
+    period: float
+    deadline: float
+    loss_tolerance: float
+    retention: int
+    destination: str
+    topics_per_proxy: int
+
+    def make_topic(self, topic_id: int) -> TopicSpec:
+        return TopicSpec(
+            topic_id=topic_id,
+            period=self.period,
+            deadline=self.deadline,
+            loss_tolerance=self.loss_tolerance,
+            retention=self.retention,
+            destination=self.destination,
+            category=self.category,
+        )
+
+
+CATEGORIES: Dict[int, CategorySpec] = {
+    0: CategorySpec(0, ms(50), ms(50), 0, 2, EDGE, topics_per_proxy=10),
+    1: CategorySpec(1, ms(50), ms(50), 3, 0, EDGE, topics_per_proxy=10),
+    2: CategorySpec(2, ms(100), ms(100), 0, 1, EDGE, topics_per_proxy=50),
+    3: CategorySpec(3, ms(100), ms(100), 3, 0, EDGE, topics_per_proxy=50),
+    4: CategorySpec(4, ms(100), ms(100), LOSS_UNBOUNDED, 0, EDGE, topics_per_proxy=50),
+    5: CategorySpec(5, ms(500), ms(500), 0, 1, CLOUD, topics_per_proxy=1),
+}
+
+#: The paper's workload sweep (total topic counts).
+PAPER_WORKLOADS: Tuple[int, ...] = (1525, 4525, 7525, 10525, 13525)
+
+#: Fixed category populations at scale 1.0 (categories 0, 1, and 5).
+_FIXED_COUNTS = {0: 10, 1: 10, 5: 5}
+
+
+@dataclass(frozen=True)
+class ProxyGroup:
+    """One publisher proxy: its topics (equal period) and host assignment."""
+
+    publisher_id: str
+    specs: Tuple[TopicSpec, ...]
+    host_index: int  # which publisher host (0 or 1) runs this proxy
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete generated topic set plus its publisher grouping."""
+
+    name: str
+    paper_total: int
+    scale: float
+    specs: Tuple[TopicSpec, ...]
+    proxies: Tuple[ProxyGroup, ...]
+
+    @property
+    def topic_count(self) -> int:
+        return len(self.specs)
+
+    def specs_of_category(self, category: int) -> List[TopicSpec]:
+        return [spec for spec in self.specs if spec.category == category]
+
+    def message_rate(self) -> float:
+        """Aggregate creation rate (messages/second) of the topic set."""
+        return sum(1.0 / spec.period for spec in self.specs)
+
+
+def _chunks(items: Sequence, size: int):
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+def build_workload(paper_total: int, scale: float = 1.0,
+                   publisher_hosts: int = 2) -> Workload:
+    """Generate the topic set and proxy grouping for one workload point.
+
+    ``paper_total`` is the paper's topic count (e.g. 7525); categories 2-4
+    are scaled by ``scale`` (rounded), categories 0/1/5 keep their paper
+    populations so the latency-critical and cloud paths stay represented.
+    """
+    if paper_total < 25:
+        raise ValueError("paper_total must be at least 25 (the fixed categories)")
+    if (paper_total - 25) % 3 != 0:
+        raise ValueError("paper_total - 25 must divide evenly across categories 2-4")
+    if scale <= 0 or scale > 1:
+        raise ValueError("scale must be in (0, 1]")
+    per_sensor_category = (paper_total - 25) // 3
+    scaled_sensor = max(1, round(per_sensor_category * scale))
+
+    counts = dict(_FIXED_COUNTS)
+    for category in (2, 3, 4):
+        counts[category] = scaled_sensor
+
+    specs: List[TopicSpec] = []
+    proxies: List[ProxyGroup] = []
+    next_topic_id = 0
+    next_host = 0
+    for category in sorted(counts):
+        cat_spec = CATEGORIES[category]
+        cat_topics = []
+        for _ in range(counts[category]):
+            cat_topics.append(cat_spec.make_topic(next_topic_id))
+            next_topic_id += 1
+        specs.extend(cat_topics)
+        for index, group in enumerate(_chunks(cat_topics, cat_spec.topics_per_proxy)):
+            proxies.append(ProxyGroup(
+                publisher_id=f"pub-c{category}-{index}",
+                specs=tuple(group),
+                host_index=next_host % publisher_hosts,
+            ))
+            next_host += 1
+
+    return Workload(
+        name=f"{paper_total}-topics" + (f"@{scale:g}" if scale != 1.0 else ""),
+        paper_total=paper_total,
+        scale=scale,
+        specs=tuple(specs),
+        proxies=tuple(proxies),
+    )

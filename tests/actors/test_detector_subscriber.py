@@ -1,0 +1,149 @@
+"""Failure-detector and subscriber tests."""
+
+import pytest
+
+from repro.actors.detector import FailureDetector
+from repro.actors.subscriber import Subscriber, SubscriberStats
+from repro.core.model import Message
+from repro.core.protocol import Deliver
+from repro.core.units import ms
+
+from tests.helpers import build_mini, topic
+
+
+# ----------------------------------------------------------------------
+# FailureDetector
+# ----------------------------------------------------------------------
+def make_detector(system, **overrides):
+    kwargs = dict(poll_interval=ms(10), reply_timeout=ms(8), miss_threshold=2)
+    kwargs.update(overrides)
+    fired = []
+    detector = FailureDetector(
+        system.engine, system.backup_host, system.network, name="det",
+        target_ctl_address=system.primary.ctl_address,
+        on_failure=lambda: fired.append(system.engine.now), **kwargs)
+    return detector, fired
+
+
+def test_detector_stays_quiet_while_target_lives():
+    system = build_mini([topic(topic_id=0)])
+    detector, fired = make_detector(system)
+    system.engine.run(until=2.0)
+    assert fired == []
+    assert detector.suspected_at is None
+
+
+def test_detector_fires_once_after_crash():
+    system = build_mini([topic(topic_id=0)])
+    detector, fired = make_detector(system)
+    system.engine.call_after(1.0, system.primary_host.crash)
+    system.engine.run(until=3.0)
+    assert len(fired) == 1
+    assert fired[0] - 1.0 <= detector.worst_case_detection() + ms(1)
+    assert not detector.process.alive   # detector retires after firing
+
+
+def test_detection_latency_within_worst_case_bound():
+    # Crash right after a successful poll: the worst case for detection.
+    system = build_mini([topic(topic_id=0)])
+    detector, fired = make_detector(system)
+    system.engine.call_after(0.0101, system.primary_host.crash)
+    system.engine.run(until=1.0)
+    assert fired
+    assert fired[0] - 0.0101 <= detector.worst_case_detection() + ms(1)
+
+
+def test_single_missed_poll_does_not_trigger():
+    """A transient timeout (one lost pong) must not cause fail-over."""
+    system = build_mini([topic(topic_id=0)])
+    detector, fired = make_detector(system, miss_threshold=2)
+    # Briefly unregister the control endpoint to eat exactly one ping.
+    ctl = system.primary.ctl_address
+
+    def blackout():
+        handler = system.network._endpoints[ctl]
+        system.network.unregister(ctl)
+        system.engine.call_after(ms(8), lambda: system.network.register(
+            handler[0], ctl, handler[1]))
+
+    system.engine.call_after(ms(9), blackout)
+    system.engine.run(until=1.0)
+    assert fired == []
+
+
+def test_detector_validation():
+    system = build_mini([topic(topic_id=0)])
+    with pytest.raises(ValueError):
+        FailureDetector(system.engine, system.backup_host, system.network,
+                        name="bad", target_ctl_address="x", on_failure=lambda: None,
+                        poll_interval=0.0, reply_timeout=ms(5))
+    with pytest.raises(ValueError):
+        FailureDetector(system.engine, system.backup_host, system.network,
+                        name="bad2", target_ctl_address="x", on_failure=lambda: None,
+                        poll_interval=ms(5), reply_timeout=ms(5), miss_threshold=0)
+
+
+def test_worst_case_detection_formula():
+    system = build_mini([topic(topic_id=0)])
+    detector, _ = make_detector(system, poll_interval=ms(15),
+                                reply_timeout=ms(10), miss_threshold=2)
+    assert detector.worst_case_detection() == pytest.approx(ms(15) + 2 * ms(15))
+
+
+# ----------------------------------------------------------------------
+# Subscriber
+# ----------------------------------------------------------------------
+def test_subscriber_deduplicates_by_topic_seq():
+    system = build_mini([topic(topic_id=0)])
+    sub = system.subscriber
+    message = Message(0, 1, created_at=0.0)
+    sub._on_deliver(Deliver(message, dispatched_at=0.0))
+    sub._on_deliver(Deliver(message, dispatched_at=0.0))
+    assert sub.stats.duplicates == 1
+    assert sub.stats.delivered_seqs(0) == {1}
+
+
+def test_subscriber_latency_uses_local_clock():
+    system = build_mini([topic(topic_id=0)])
+    sub = system.subscriber
+    system.engine.call_after(0.5, lambda: sub._on_deliver(
+        Deliver(Message(0, 1, created_at=0.2), dispatched_at=0.45)))
+    system.engine.run(until=1.0)
+    assert sub.stats.latency_by_seq[0][1] == pytest.approx(0.3)
+
+
+def test_traced_topic_records_delta_bs():
+    system = build_mini([topic(topic_id=0)], traced_topics=(0,))
+    sub = system.subscriber
+    system.engine.call_after(0.5, lambda: sub._on_deliver(
+        Deliver(Message(0, 1, created_at=0.2), dispatched_at=0.45,
+                recovered=True)))
+    system.engine.run(until=1.0)
+    trace = sub.stats.traces[0]
+    assert len(trace) == 1
+    assert trace[0].delta_bs == pytest.approx(0.05)
+    assert trace[0].recovered
+
+
+def test_untraced_topic_keeps_no_series():
+    system = build_mini([topic(topic_id=0)])
+    sub = system.subscriber
+    sub._on_deliver(Deliver(Message(0, 1, created_at=0.0), dispatched_at=0.0))
+    assert sub.stats.traces == {}
+
+
+def test_stats_merge_rejects_topic_overlap():
+    a, b = SubscriberStats(), SubscriberStats()
+    a.latency_by_seq[1] = {1: 0.1}
+    b.latency_by_seq[1] = {2: 0.2}
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_stats_merge_combines_traces():
+    a, b = SubscriberStats(traced_topics=(1,)), SubscriberStats(traced_topics=(1,))
+    b.latency_by_seq[1] = {1: 0.1}
+    from repro.actors.subscriber import TracedDelivery
+    b.traces[1].append(TracedDelivery(1, 0.5, 0.1, 0.01, False))
+    a.merge(b)
+    assert len(a.traces[1]) == 1

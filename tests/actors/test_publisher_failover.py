@@ -1,0 +1,122 @@
+"""Publisher proxy tests: traffic generation, retention, fail-over."""
+
+import pytest
+
+from repro.core.model import Message
+from repro.core.units import ms
+from repro.actors.publisher import PublisherProxy, PublisherStats
+
+from tests.helpers import build_mini, topic
+
+
+def test_publisher_emits_one_message_per_topic_per_period():
+    specs = [topic(topic_id=0), topic(topic_id=1)]
+    system = build_mini(specs, with_publisher=True)
+    system.engine.run(until=1.0)
+    # 1 s at Ti = 100 ms (no jitter): ~10 creations per topic.
+    for topic_id in (0, 1):
+        created = system.publisher_stats.created[topic_id]
+        assert 9 <= len(created) <= 11
+        gaps = [b - a for a, b in zip(created, created[1:])]
+        assert all(gap >= ms(100) - 1e-9 for gap in gaps)   # sporadic: >= Ti
+    # All messages except possibly one created at the very horizon arrive.
+    created_count = len(system.publisher_stats.created[0])
+    assert system.delivered_seqs(0) >= set(range(1, created_count))
+
+
+def test_sequence_numbers_are_consecutive_from_one():
+    system = build_mini([topic(topic_id=0)], with_publisher=True)
+    system.engine.run(until=0.55)
+    log = system.publisher_stats.created[0]
+    assert len(log) >= 5
+    assert system.delivered_seqs(0) == set(range(1, len(log) + 1))
+
+
+def test_failover_redirects_traffic_to_backup():
+    system = build_mini([topic(topic_id=0)], with_publisher=True,
+                        with_promoter=True)
+    system.engine.call_after(0.5, system.primary_host.crash)
+    system.engine.run(until=1.5)
+    publisher = system.publisher
+    assert publisher.current_target == system.backup.ingress_address
+    assert system.publisher_stats.failover_at is not None
+    assert system.publisher_stats.failover_at - 0.5 <= ms(50)
+    # Messages created after fail-over are delivered by the new primary.
+    created = system.publisher_stats.created[0]
+    assert system.backup.stats.dispatched > 0
+    missing = set(range(1, len(created) + 1)) - system.delivered_seqs(0)
+    # At most the messages created during the outage window can be missing,
+    # and retention Ni=1 recovers the last of them.
+    assert len(missing) == 0
+
+
+def test_failover_resends_retained_messages():
+    system = build_mini([topic(topic_id=0, retention=2)], with_publisher=True,
+                        with_promoter=True)
+    system.engine.call_after(0.5, system.primary_host.crash)
+    system.engine.run(until=1.5)
+    assert system.publisher_stats.resends == 2   # Ni = 2 retained messages
+
+
+def test_no_retention_means_no_resend():
+    system = build_mini([topic(topic_id=0, loss=3, retention=0, category=3)],
+                        with_publisher=True, with_promoter=True)
+    system.engine.call_after(0.5, system.primary_host.crash)
+    system.engine.run(until=1.5)
+    assert system.publisher_stats.resends == 0
+
+
+def test_proxy_rejects_mixed_periods():
+    system = build_mini([topic(topic_id=0)])
+    with pytest.raises(ValueError, match="share one period"):
+        PublisherProxy(
+            system.engine, system.pub_host, system.network, "bad",
+            specs=[topic(topic_id=1, period=ms(100)),
+                   topic(topic_id=2, period=ms(50), loss=3, retention=0)],
+            primary_ingress=system.primary.ingress_address,
+            backup_ingress=system.backup.ingress_address,
+            failover_bound=ms(50), detector_poll=ms(15),
+            detector_timeout=ms(10))
+
+
+def test_proxy_rejects_detector_slower_than_failover_bound():
+    system = build_mini([topic(topic_id=0)])
+    with pytest.raises(ValueError, match="exceeds failover bound"):
+        PublisherProxy(
+            system.engine, system.pub_host, system.network, "slow",
+            specs=[topic(topic_id=1)],
+            primary_ingress=system.primary.ingress_address,
+            backup_ingress=system.backup.ingress_address,
+            failover_bound=ms(20),           # detector worst case is ~40 ms
+            detector_poll=ms(15), detector_timeout=ms(10))
+
+
+def test_proxy_requires_topics():
+    system = build_mini([topic(topic_id=0)])
+    with pytest.raises(ValueError, match="at least one topic"):
+        PublisherProxy(
+            system.engine, system.pub_host, system.network, "empty",
+            specs=[], primary_ingress=system.primary.ingress_address,
+            backup_ingress=system.backup.ingress_address,
+            failover_bound=ms(50), detector_poll=ms(15),
+            detector_timeout=ms(10))
+
+
+def test_stats_merge_rejects_duplicate_topics():
+    a = PublisherStats()
+    b = PublisherStats()
+    a.log_creation(1, 0.0)
+    b.log_creation(1, 0.0)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_stats_merge_combines_disjoint_topics():
+    a = PublisherStats()
+    b = PublisherStats()
+    a.log_creation(1, 0.0)
+    b.log_creation(2, 0.0)
+    b.batches_sent = 3
+    a.merge(b)
+    assert set(a.created) == {1, 2}
+    assert a.batches_sent == 3

@@ -1,0 +1,148 @@
+"""Tests for the analytic capacity model — including validation against
+the simulator, which is the substantive check: the closed-form demands
+must predict measured module utilization to within a few percent."""
+
+import pytest
+
+from repro.analysis import plan_capacity, predict_utilization
+from repro.analysis.capacity import max_admissible_workload
+from repro.core.config import CostModel
+from repro.core.policy import FCFS, FCFS_MINUS, FRAME, FRAME_PLUS
+from repro.core.units import ms
+from repro.experiments.runner import ExperimentSettings, run_experiment
+from repro.workloads.spec import build_workload
+
+PARAMS = ExperimentSettings().deadline_parameters()
+COSTS = CostModel.calibrated(1.0)
+
+
+def specs_of(total, scale=1.0):
+    return build_workload(total, scale=scale).specs
+
+
+# ----------------------------------------------------------------------
+# Model structure
+# ----------------------------------------------------------------------
+def test_frame_plus_has_zero_backup_demand():
+    plan = predict_utilization(specs_of(7525), FRAME_PLUS, PARAMS, COSTS)
+    assert plan.replicated_rate == 0.0
+    assert plan.module("backup_proxy").demand == 0.0
+
+
+def test_frame_replicates_only_categories_2_and_5():
+    plan = predict_utilization(specs_of(7525), FRAME, PARAMS, COSTS)
+    # cat 2: 2500 topics @ 10 Hz, cat 5: 5 topics @ 2 Hz
+    assert plan.replicated_rate == pytest.approx(25_010.0)
+    assert plan.message_rate == pytest.approx(75_410.0)
+
+
+def test_fcfs_replicates_everything():
+    plan = predict_utilization(specs_of(7525), FCFS, PARAMS, COSTS)
+    assert plan.replicated_rate == plan.message_rate
+
+
+def test_policy_ordering_of_delivery_demand():
+    demands = {}
+    for policy in (FRAME_PLUS, FRAME, FCFS_MINUS, FCFS):
+        plan = predict_utilization(specs_of(7525), policy, PARAMS, COSTS)
+        demands[policy.name] = plan.module("primary_delivery").demand
+    assert demands["FRAME+"] < demands["FRAME"]
+    assert demands["FRAME+"] < demands["FCFS-"]
+    assert demands["FCFS-"] < demands["FCFS"]
+    assert demands["FRAME"] < demands["FCFS"]
+
+
+def test_paper_crossovers_in_the_model():
+    """The calibrated model reproduces the paper's overload crossovers."""
+    def delivery_overloaded(policy, total):
+        plan = predict_utilization(specs_of(total), policy, PARAMS, COSTS)
+        return plan.module("primary_delivery").overloaded
+
+    assert not delivery_overloaded(FCFS, 4525)
+    assert delivery_overloaded(FCFS, 7525)           # Table 4/5 collapse point
+    assert not delivery_overloaded(FRAME, 10525)
+    assert not delivery_overloaded(FRAME_PLUS, 13525)
+    # FRAME at 13525 sits just under the knee (background load tips it).
+    plan = predict_utilization(specs_of(13525), FRAME, PARAMS, COSTS)
+    ratio = plan.module("primary_delivery").demand / 2.0
+    assert 0.90 <= ratio <= 1.0
+
+
+def test_bottleneck_identification():
+    plan = predict_utilization(specs_of(13525), FRAME_PLUS, PARAMS, COSTS)
+    # With no replication, the single-core proxy is the bottleneck.
+    assert plan.bottleneck.name == "primary_proxy"
+
+
+def test_utilization_caps_at_one():
+    plan = predict_utilization(specs_of(13525), FCFS, PARAMS, COSTS)
+    delivery = plan.module("primary_delivery")
+    assert delivery.overloaded
+    assert delivery.utilization == 1.0
+
+
+# ----------------------------------------------------------------------
+# Admission + deployability
+# ----------------------------------------------------------------------
+def test_plan_capacity_accepts_paper_workload():
+    report = plan_capacity(specs_of(4525), FRAME, PARAMS, COSTS)
+    assert report.deployable
+    assert report.admitted == 4525
+    assert report.rejected == ()
+
+
+def test_plan_capacity_rejects_inadmissible_topic():
+    from repro.core.model import EDGE, TopicSpec
+    bad = TopicSpec(topic_id=9_999_999, period=ms(10), deadline=ms(10),
+                    loss_tolerance=0, retention=0, destination=EDGE, category=0)
+    report = plan_capacity(list(specs_of(1525)) + [bad], FRAME, PARAMS, COSTS)
+    assert not report.deployable
+    assert report.rejected[0][0] == 9_999_999
+    assert "Dr" in report.rejected[0][1]
+
+
+def test_max_admissible_workload_matches_crossovers():
+    """With 5 % headroom (the paper's noisy-run margin), the model picks
+    the same maximum workloads the measured tables support."""
+    candidates = (1525, 4525, 7525, 10525, 13525)
+    assert max_admissible_workload(specs_of, FCFS, PARAMS, COSTS,
+                                   candidates, headroom=0.05) == 4525
+    assert max_admissible_workload(specs_of, FRAME, PARAMS, COSTS,
+                                   candidates, headroom=0.05) == 10525
+    assert max_admissible_workload(specs_of, FRAME_PLUS, PARAMS, COSTS,
+                                   candidates, headroom=0.05) == 13525
+
+
+def test_headroom_validation_and_monotonicity():
+    plan = predict_utilization(specs_of(10525), FRAME, PARAMS, COSTS)
+    assert plan.feasible_with(0.0)
+    assert not plan.feasible_with(0.5)   # delivery at 74 % > 50 % limit
+    with pytest.raises(ValueError):
+        plan.feasible_with(1.0)
+    with pytest.raises(ValueError):
+        plan.feasible_with(-0.1)
+
+
+# ----------------------------------------------------------------------
+# Validation against the simulator (the load-bearing test)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", [FRAME_PLUS, FRAME, FCFS_MINUS])
+def test_prediction_matches_simulation(policy):
+    total = 4525
+    scale = 0.1
+    settings = ExperimentSettings(
+        policy=policy, paper_total=total, scale=scale, seed=0,
+        warmup=2.0, measure=6.0, grace=0.5,
+        background_noise_probability=0.0,
+        background_idle_load=(0.0, 0.0),
+    )
+    result = run_experiment(settings)
+    measured = result.utilizations()
+    plan = predict_utilization(
+        result.workload.specs, policy,
+        settings.deadline_parameters(), CostModel.calibrated(scale))
+    for key in ("primary_proxy", "primary_delivery", "backup_proxy"):
+        predicted = plan.module(key).utilization
+        assert measured[key] == pytest.approx(predicted, abs=0.05), (
+            f"{policy.name}/{key}: predicted {predicted:.3f}, "
+            f"measured {measured[key]:.3f}")

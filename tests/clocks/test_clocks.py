@@ -1,0 +1,123 @@
+"""Tests for drifting clocks and the PTP/NTP-style sync services."""
+
+import pytest
+
+from repro.clocks import NTP_CLOUD, PTP_EDGE, ClockSyncService, SyncProfile, attach_clock
+from repro.clocks.clock import Clock
+from repro.core.units import ms
+from repro.sim import Engine, Host
+
+
+def test_clock_without_offset_tracks_engine():
+    engine = Engine()
+    clock = Clock(engine)
+    engine.call_after(5.0, lambda: None)
+    engine.run()
+    assert clock.now() == 5.0
+    assert clock.error() == 0.0
+
+
+def test_clock_offset_shifts_reading():
+    engine = Engine()
+    clock = Clock(engine, offset=0.25)
+    assert clock.now() == 0.25
+    assert clock.error() == 0.25
+
+
+def test_clock_drift_accumulates():
+    engine = Engine()
+    clock = Clock(engine, drift_ppm=100.0)   # 100 us per second
+    engine.run(until=10.0)
+    assert clock.error() == pytest.approx(1e-3)
+
+
+def test_step_correction_resets_drift_reference():
+    engine = Engine()
+    clock = Clock(engine, offset=0.5, drift_ppm=100.0)
+    engine.run(until=10.0)
+    clock.step_to_error(1e-5)
+    assert clock.error() == pytest.approx(1e-5)
+    engine.call_after(10.0, lambda: None)
+    engine.run()
+    # Drift resumes from the correction point.
+    assert clock.error() == pytest.approx(1e-5 + 1e-3, rel=1e-6)
+
+
+def test_attach_clock_binds_host_now():
+    engine = Engine()
+    host = Host(engine, "h")
+    attach_clock(host, offset=0.1)
+    assert host.now() == pytest.approx(0.1)
+
+
+def test_sync_service_bounds_follower_error():
+    engine = Engine(seed=3)
+    master = Host(engine, "master")
+    follower = Host(engine, "follower")
+    attach_clock(master)
+    attach_clock(follower, offset=0.5, drift_ppm=50.0)
+    ClockSyncService(engine, master, [follower], PTP_EDGE)
+    engine.run(until=30.0)
+    # Residual after last correction plus <=1 s of 50 ppm drift.
+    assert abs(follower.clock.error()) <= PTP_EDGE.error_bound + 60e-6
+
+
+def test_sync_tracks_master_drift():
+    engine = Engine(seed=3)
+    master = Host(engine, "master")
+    follower = Host(engine, "follower")
+    attach_clock(master, drift_ppm=200.0)
+    attach_clock(follower)
+    ClockSyncService(engine, master, [follower], PTP_EDGE)
+    engine.run(until=30.0)
+    # Follower converges to the master's (drifting) time, not true time.
+    assert abs(follower.clock.now() - master.clock.now()) <= (
+        PTP_EDGE.error_bound + 250e-6
+    )
+
+
+def test_sync_stops_when_master_dies():
+    engine = Engine(seed=3)
+    master = Host(engine, "master")
+    follower = Host(engine, "follower")
+    attach_clock(master)
+    attach_clock(follower, drift_ppm=100.0)
+    service = ClockSyncService(engine, master, [follower], PTP_EDGE)
+    engine.call_at(5.5, master.crash)
+    engine.run(until=20.0)
+    assert not service.process.alive
+    # Free-running drift after the last correction near t=5.
+    assert abs(follower.clock.error()) > PTP_EDGE.error_bound
+
+
+def test_dead_follower_is_skipped():
+    engine = Engine(seed=3)
+    master = Host(engine, "master")
+    follower = Host(engine, "follower")
+    attach_clock(master)
+    attach_clock(follower, offset=1.0)
+    follower.crash()
+    ClockSyncService(engine, master, [follower], PTP_EDGE)
+    engine.run(until=3.0)
+    assert follower.clock.error() == pytest.approx(1.0)
+
+
+def test_sync_requires_clocks():
+    engine = Engine()
+    master = Host(engine, "master")
+    follower = Host(engine, "follower")
+    attach_clock(master)
+    with pytest.raises(ValueError, match="no clock"):
+        ClockSyncService(engine, master, [follower], PTP_EDGE)
+
+
+def test_profiles_match_paper_setup():
+    assert PTP_EDGE.error_bound == pytest.approx(ms(0.05))   # "within 0.05 ms"
+    assert NTP_CLOUD.error_bound >= ms(1.0)                   # "in milliseconds"
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        SyncProfile(name="bad", interval=0.0, error_bound=1e-3)
+    with pytest.raises(ValueError):
+        SyncProfile(name="bad", interval=1.0, error_bound=-1e-3)

@@ -1,0 +1,126 @@
+"""Tests for the Retention/Message/Backup buffers."""
+
+import pytest
+
+from repro.core.buffers import BackupBuffer, RingBuffer
+from repro.core.model import Message
+
+
+def msg(topic, seq):
+    return Message(topic_id=topic, seq=seq, created_at=float(seq))
+
+
+# ----------------------------------------------------------------------
+# RingBuffer (publisher Retention Buffer)
+# ----------------------------------------------------------------------
+def test_ring_keeps_last_capacity_items():
+    ring = RingBuffer(capacity=3)
+    for seq in range(1, 6):
+        ring.append(msg(0, seq))
+    assert [m.seq for m in ring.snapshot()] == [3, 4, 5]
+
+
+def test_ring_capacity_zero_retains_nothing():
+    ring = RingBuffer(capacity=0)
+    ring.append(msg(0, 1))
+    assert ring.snapshot() == []
+    assert len(ring) == 0
+
+
+def test_ring_orders_oldest_first():
+    ring = RingBuffer(capacity=2)
+    ring.append(msg(0, 1))
+    ring.append(msg(0, 2))
+    assert [m.seq for m in ring] == [1, 2]
+
+
+def test_ring_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        RingBuffer(capacity=-1)
+
+
+def test_ring_partial_fill():
+    ring = RingBuffer(capacity=5)
+    ring.append(msg(0, 1))
+    assert len(ring) == 1
+    assert [m.seq for m in ring.snapshot()] == [1]
+
+
+# ----------------------------------------------------------------------
+# BackupBuffer
+# ----------------------------------------------------------------------
+def test_backup_store_and_get():
+    buffer = BackupBuffer(capacity_per_topic=10)
+    entry = buffer.store(msg(1, 1), arrived_at=0.5)
+    assert not entry.discard
+    assert buffer.get(1, 1) is entry
+    assert buffer.get(1, 2) is None
+    assert buffer.get(2, 1) is None
+
+
+def test_backup_ring_evicts_oldest_per_topic():
+    buffer = BackupBuffer(capacity_per_topic=3)
+    for seq in range(1, 6):
+        buffer.store(msg(1, seq), arrived_at=float(seq))
+    seqs = [entry.message.seq for entry in buffer.entries(1)]
+    assert seqs == [3, 4, 5]
+    assert buffer.get(1, 1) is None
+
+
+def test_backup_topics_have_independent_rings():
+    buffer = BackupBuffer(capacity_per_topic=2)
+    buffer.store(msg(1, 1), 0.0)
+    buffer.store(msg(2, 1), 0.0)
+    buffer.store(msg(1, 2), 0.0)
+    buffer.store(msg(1, 3), 0.0)
+    assert [e.message.seq for e in buffer.entries(1)] == [2, 3]
+    assert [e.message.seq for e in buffer.entries(2)] == [1]
+
+
+def test_backup_prune_sets_discard():
+    buffer = BackupBuffer(capacity_per_topic=10)
+    buffer.store(msg(1, 1), 0.0)
+    assert buffer.prune(1, 1)
+    assert buffer.get(1, 1).discard
+    # Pruned entries stay in the ring (skipped at recovery, Table 3).
+    assert buffer.total_count() == 1
+    assert buffer.live_count() == 0
+
+
+def test_backup_prune_absent_copy_is_noop():
+    buffer = BackupBuffer(capacity_per_topic=10)
+    assert not buffer.prune(1, 99)
+    buffer.store(msg(1, 1), 0.0)
+    assert not buffer.prune(1, 99)
+
+
+def test_backup_duplicate_replica_refreshes_arrival():
+    buffer = BackupBuffer(capacity_per_topic=10)
+    first = buffer.store(msg(1, 1), arrived_at=1.0)
+    second = buffer.store(msg(1, 1), arrived_at=2.0)
+    assert first is second
+    assert second.arrived_at == 2.0
+    assert buffer.total_count() == 1
+
+
+def test_backup_all_entries_iterates_by_topic_then_age():
+    buffer = BackupBuffer(capacity_per_topic=10)
+    buffer.store(msg(2, 1), 0.0)
+    buffer.store(msg(1, 1), 0.0)
+    buffer.store(msg(1, 2), 0.0)
+    keys = [(e.message.topic_id, e.message.seq) for e in buffer.all_entries()]
+    assert keys == [(1, 1), (1, 2), (2, 1)]
+
+
+def test_backup_live_count_reflects_pruning():
+    buffer = BackupBuffer(capacity_per_topic=10)
+    for seq in range(1, 5):
+        buffer.store(msg(1, seq), 0.0)
+    buffer.prune(1, 2)
+    buffer.prune(1, 3)
+    assert buffer.live_count() == 2
+
+
+def test_backup_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        BackupBuffer(capacity_per_topic=0)

@@ -1,0 +1,169 @@
+"""Tests for Table 3 coordination state/decisions and the config policies."""
+
+import pytest
+
+from repro.core.coordination import (
+    MessageBuffer,
+    should_abort_replication,
+    should_cancel_pending_replication,
+    should_request_prune,
+    should_skip_at_recovery,
+)
+from repro.core.model import Message, TopicSpec
+from repro.core.policy import (
+    ALL_POLICIES,
+    ARRIVAL_ORDER,
+    EDF,
+    FCFS,
+    FCFS_MINUS,
+    FRAME,
+    FRAME_PLUS,
+    ConfigPolicy,
+    policy_by_name,
+)
+from repro.core.scheduling import REPLICATE, Job
+from repro.core.units import ms
+
+
+def make_entry(buffer=None, wants_replication=True):
+    buffer = buffer if buffer is not None else MessageBuffer()
+    message = Message(topic_id=1, seq=1, created_at=0.0)
+    return buffer.insert(message, arrived_at=0.001, wants_replication=wants_replication)
+
+
+# ----------------------------------------------------------------------
+# Table 3 decision functions
+# ----------------------------------------------------------------------
+def test_replicate_aborts_after_dispatch_with_coordination():
+    entry = make_entry()
+    entry.dispatched = True
+    assert should_abort_replication(entry, coordination=True)
+    assert not should_abort_replication(entry, coordination=False)
+
+
+def test_replicate_proceeds_before_dispatch():
+    entry = make_entry()
+    assert not should_abort_replication(entry, coordination=True)
+
+
+def test_prune_requested_only_when_replicated():
+    entry = make_entry()
+    assert not should_request_prune(entry, coordination=True)
+    entry.replicated = True
+    assert should_request_prune(entry, coordination=True)
+    assert not should_request_prune(entry, coordination=False)
+
+
+def test_pending_replication_cancelled_after_dispatch():
+    entry = make_entry()
+    entry.replicate_job = Job(REPLICATE, entry, deadline=1.0, cost=1e-6)
+    assert should_cancel_pending_replication(entry, coordination=True)
+    assert not should_cancel_pending_replication(entry, coordination=False)
+
+
+def test_no_cancellation_when_job_absent_or_done():
+    entry = make_entry()
+    entry.replicate_job = None
+    assert not should_cancel_pending_replication(entry, coordination=True)
+    entry.replicate_job = Job(REPLICATE, entry, deadline=1.0, cost=1e-6)
+    entry.replicated = True
+    assert not should_cancel_pending_replication(entry, coordination=True)
+    entry.replicated = False
+    entry.replicate_job.cancel()
+    assert not should_cancel_pending_replication(entry, coordination=True)
+
+
+def test_recovery_skips_discarded():
+    assert should_skip_at_recovery(True)
+    assert not should_skip_at_recovery(False)
+
+
+# ----------------------------------------------------------------------
+# MessageBuffer lifecycle
+# ----------------------------------------------------------------------
+def test_entry_not_settled_until_dispatched():
+    buffer = MessageBuffer()
+    entry = make_entry(buffer, wants_replication=False)
+    assert not entry.settled
+    assert not buffer.release_if_settled(entry)
+    entry.dispatched = True
+    assert entry.settled
+    assert buffer.release_if_settled(entry)
+    assert len(buffer) == 0
+
+
+def test_entry_with_replication_settles_after_both():
+    buffer = MessageBuffer()
+    entry = make_entry(buffer, wants_replication=True)
+    entry.replicate_job = Job(REPLICATE, entry, deadline=1.0, cost=1e-6)
+    entry.dispatched = True
+    assert not entry.settled            # replication still pending
+    entry.replicate_job.cancel()
+    assert entry.settled                # aborted replication settles it
+    buffer.release_if_settled(entry)
+    assert buffer.get(1, 1) is None
+
+
+def test_entry_settles_via_replication_completion():
+    buffer = MessageBuffer()
+    entry = make_entry(buffer, wants_replication=True)
+    entry.dispatched = True
+    entry.replicated = True
+    assert entry.settled
+
+
+def test_buffer_lookup_by_key():
+    buffer = MessageBuffer()
+    entry = make_entry(buffer)
+    assert buffer.get(1, 1) is entry
+    assert buffer.get(1, 2) is None
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+def test_policy_matrix_matches_paper():
+    """Sec. VI-A's four configurations."""
+    assert FRAME.scheduling == EDF
+    assert FRAME.selective_replication and FRAME.coordination
+    assert not FRAME.replicate_before_dispatch
+
+    assert dict(FRAME_PLUS.retention_bonus) == {2: 1, 5: 1}
+    assert FRAME_PLUS.retention_bonus_of(2) == 1
+    assert FRAME_PLUS.retention_bonus_of(3) == 0
+
+    assert FCFS.scheduling == ARRIVAL_ORDER
+    assert not FCFS.selective_replication
+    assert FCFS.coordination
+    assert FCFS.replicate_before_dispatch
+
+    assert not FCFS_MINUS.coordination
+    assert FCFS_MINUS.replicate_before_dispatch
+
+
+def test_frame_plus_adjusts_only_bonused_categories():
+    specs = [
+        TopicSpec(topic_id=0, period=ms(100), deadline=ms(100), loss_tolerance=0,
+                  retention=1, category=2),
+        TopicSpec(topic_id=1, period=ms(100), deadline=ms(100), loss_tolerance=3,
+                  retention=0, category=3),
+        TopicSpec(topic_id=2, period=ms(500), deadline=ms(500), loss_tolerance=0,
+                  retention=1, category=5),
+    ]
+    adjusted = FRAME_PLUS.adjust_specs(specs)
+    assert [spec.retention for spec in adjusted] == [2, 0, 2]
+    # FRAME leaves them untouched.
+    assert [spec.retention for spec in FRAME.adjust_specs(specs)] == [1, 0, 1]
+
+
+def test_policy_by_name_roundtrip():
+    for policy in ALL_POLICIES:
+        assert policy_by_name(policy.name) is policy
+    assert policy_by_name("fcfs-") is FCFS_MINUS
+    with pytest.raises(KeyError):
+        policy_by_name("nonsense")
+
+
+def test_unknown_scheduling_rejected():
+    with pytest.raises(ValueError):
+        ConfigPolicy(name="bad", scheduling="lifo")

@@ -1,0 +1,97 @@
+"""Tests for the local-disk loss-tolerance strategy (Table 1 extension)."""
+
+import pytest
+
+from repro.core.model import Message
+from repro.core.policy import DISK_LOG, FRAME, policy_by_name
+from repro.core.units import ms, us
+
+from tests.helpers import TEST_COSTS, build_mini, topic
+
+
+def msg(topic_id, seq, created_at):
+    return Message(topic_id=topic_id, seq=seq, created_at=created_at)
+
+
+def disk_costs(write=us(200)):
+    from dataclasses import replace
+    return replace(TEST_COSTS, disk_write=write)
+
+
+def test_disk_policy_is_registered():
+    assert policy_by_name("disklog") is DISK_LOG
+    assert not DISK_LOG.replication_enabled
+    assert DISK_LOG.disk_logging
+
+
+def test_disk_policy_never_replicates():
+    system = build_mini([topic(topic_id=0)], policy=DISK_LOG,
+                        costs=disk_costs())
+    system.publish([msg(0, 1, 0.0)])
+    system.engine.run(until=0.1)
+    assert system.primary.stats.replicated == 0
+    assert system.backup.backup_buffer.get(0, 1) is None
+    assert system.delivered_seqs(0) == {1}
+
+
+def test_disk_write_precedes_dispatch_and_adds_latency():
+    plain = build_mini([topic(topic_id=0)], policy=FRAME, costs=disk_costs())
+    plain.publish([msg(0, 1, 0.0)])
+    plain.engine.run(until=0.1)
+
+    journaled = build_mini([topic(topic_id=0)], policy=DISK_LOG,
+                           costs=disk_costs(write=us(200)))
+    journaled.publish([msg(0, 1, 0.0)])
+    journaled.engine.run(until=0.1)
+
+    extra = journaled.latencies(0)[1] - plain.latencies(0)[1]
+    # FRAME's path does replicate+coordinate concurrently; the disk write
+    # strictly precedes dispatch so the full write shows up in latency.
+    assert extra == pytest.approx(us(200), abs=us(5))
+    assert journaled.primary.stats.disk_writes == 1
+
+
+def test_disk_meter_accounts_occupancy_not_cpu():
+    system = build_mini([topic(topic_id=0)], policy=DISK_LOG,
+                        costs=disk_costs(write=us(200)))
+    for seq in range(1, 6):
+        system.publish([msg(0, seq, 0.0)])
+    system.engine.run(until=0.5)
+    assert system.primary.stats.disk_meter.busy == pytest.approx(5 * us(200))
+    # The CPU meter only accumulated the dispatch work.
+    assert system.primary.stats.delivery_meter.busy == pytest.approx(
+        5 * TEST_COSTS.dispatch)
+
+
+def test_recovery_dispatch_skips_journal():
+    """Re-dispatch of recovered copies must not journal again."""
+    from repro.core.scheduling import DISPATCH, Job
+
+    system = build_mini([topic(topic_id=0)], policy=DISK_LOG,
+                        costs=disk_costs())
+    # Fabricate a recovery job directly against the backup broker.
+    entry = system.backup.message_buffer.insert(msg(0, 1, 0.0), 0.0,
+                                                wants_replication=False)
+    job = Job(DISPATCH, entry, deadline=0.0, cost=TEST_COSTS.dispatch,
+              recovery=True)
+    system.backup.job_queue.push(job)
+    system.engine.run(until=0.1)
+    assert system.backup.stats.disk_writes == 0
+    assert system.delivered_seqs(0) == {1}
+
+
+def test_disk_data_dies_with_the_host():
+    """Fail-stop without restart: the journal does not help a crash, so
+    loss tolerance rests entirely on publisher retention."""
+    system = build_mini([topic(topic_id=0, retention=1)], policy=DISK_LOG,
+                        costs=disk_costs(), with_publisher=True,
+                        with_promoter=True)
+    system.engine.call_after(0.5, system.primary_host.crash)
+    system.engine.run(until=1.5)
+    # The backup recovered nothing from the (lost) disk...
+    assert system.backup.stats.recovery_dispatch_jobs == 0
+    # ...but the publisher's retained message covers the in-flight window
+    # at this light load, so the requirement still holds here.
+    created = len(system.publisher_stats.created[0])
+    missing = set(range(1, created - 2)) - system.delivered_seqs(0)
+    assert missing == set()

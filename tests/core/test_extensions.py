@@ -1,0 +1,152 @@
+"""Tests for extension features: re-protection, multi-subscriber fan-out,
+requirement merging, and the Sec. III-D.4 topic kinds end-to-end."""
+
+import pytest
+
+from repro.core.broker import BACKUP, Broker
+from repro.core.model import EDGE, LOSS_UNBOUNDED, Message, TopicSpec, merged_requirement
+from repro.core.units import ms
+from repro.sim import Host
+
+from tests.helpers import build_mini, topic
+
+
+def msg(topic_id, seq, created_at):
+    return Message(topic_id=topic_id, seq=seq, created_at=created_at)
+
+
+# ----------------------------------------------------------------------
+# Re-protection: attach a new Backup after fail-over
+# ----------------------------------------------------------------------
+def make_third_broker(system):
+    """Provision a fresh broker host wired to the promoted survivor."""
+    engine = system.engine
+    host = Host(engine, "backup2")
+    system.network.connect(system.backup_host, host, ms(0.05))
+    system.network.connect(system.pub_host, host, ms(0.25))
+    system.network.connect(host, system.sub_host, ms(0.25))
+    broker = Broker(engine, host, system.network, system.config, name="B3",
+                    role=BACKUP, peer_name=None)
+    broker.stats.set_window(0.0, 1e9)
+    return broker
+
+
+def test_attach_peer_restores_replication_for_new_messages():
+    system = build_mini([topic(topic_id=0)])           # category 2: replicates
+    system.primary_host.crash()
+    system.backup.promote()
+    system.engine.run(until=0.05)
+    third = make_third_broker(system)
+    system.backup.attach_peer("B3")
+    system.network.send(system.pub_host, system.backup.ingress_address,
+                        __import__("repro.core.protocol", fromlist=["PublishBatch"])
+                        .PublishBatch("p", [msg(0, 1, system.engine.now)]))
+    system.engine.run(until=0.2)
+    assert system.backup.stats.replicated == 1
+    assert third.backup_buffer.get(0, 1) is not None
+    # Coordination works against the new peer too.
+    assert third.backup_buffer.get(0, 1).discard
+
+
+def test_attach_peer_resyncs_undispatched_entries():
+    from dataclasses import replace as dc_replace
+    from tests.helpers import TEST_COSTS
+
+    slow = dc_replace(TEST_COSTS, dispatch=ms(50.0))   # keep messages in flight
+    system = build_mini([topic(topic_id=0)], costs=slow)
+    system.primary_host.crash()
+    system.backup.promote()
+    system.engine.run(until=0.01)
+    # A message arrives at the (unprotected) new primary ...
+    system.network.send(system.pub_host, system.backup.ingress_address,
+                        __import__("repro.core.protocol", fromlist=["PublishBatch"])
+                        .PublishBatch("p", [msg(0, 1, system.engine.now)]))
+    system.engine.run(until=0.02)
+    assert system.backup.stats.replicated == 0
+    # ... then a new Backup attaches and the in-flight message is resynced.
+    third = make_third_broker(system)
+    system.backup.attach_peer("B3", resync=True)
+    system.engine.run(until=0.3)
+    assert third.backup_buffer.get(0, 1) is not None
+
+
+def test_attach_peer_requires_primary_role():
+    system = build_mini([topic(topic_id=0)])
+    with pytest.raises(RuntimeError, match="only a Primary"):
+        system.backup.attach_peer("B3")
+
+
+# ----------------------------------------------------------------------
+# Multi-subscriber fan-out
+# ----------------------------------------------------------------------
+def test_one_dispatch_job_reaches_all_subscribers():
+    """Paper Sec. IV-A: one dispatching job per arrival; the Dispatcher
+    pushes the message to each subscriber of the topic."""
+    from repro.actors.subscriber import Subscriber
+
+    system = build_mini([topic(topic_id=0)])
+    second_host = Host(system.engine, "sub2")
+    system.network.connect(system.primary_host, second_host, ms(0.25))
+    system.network.connect(system.backup_host, second_host, ms(0.25))
+    second = Subscriber(system.engine, second_host, system.network, name="sub2")
+    system.config.subscriptions[0] = ("sub/sub", "sub2/sub")
+    system.publish([msg(0, 1, 0.0)])
+    system.engine.run(until=0.1)
+    assert system.delivered_seqs(0) == {1}
+    assert second.stats.delivered_seqs(0) == {1}
+    assert system.primary.stats.dispatched == 1   # one job, two pushes
+
+
+def test_merged_requirement_takes_tightest():
+    spec = TopicSpec(topic_id=0, period=ms(100), deadline=ms(500),
+                     loss_tolerance=LOSS_UNBOUNDED, retention=1,
+                     destination=EDGE, category=2)
+    merged = merged_requirement(spec, [(ms(200), 3), (ms(100), 5)])
+    assert merged.deadline == ms(100)
+    assert merged.loss_tolerance == 3
+    assert merged.topic_id == spec.topic_id
+
+
+def test_merged_requirement_empty_is_identity():
+    spec = topic(topic_id=0)
+    assert merged_requirement(spec, []) == spec
+
+
+# ----------------------------------------------------------------------
+# Sec. III-D.4: rare-critical and streaming topics, end-to-end
+# ----------------------------------------------------------------------
+def test_rare_critical_message_delivered_in_time_without_replication():
+    """Di < Ti (emergency notification): a single sporadic message amid a
+    periodic background load is dispatched within its tight deadline, with
+    no replication jobs created for it."""
+    critical = TopicSpec(topic_id=0, period=1e6, deadline=ms(30),
+                         loss_tolerance=0, retention=1, destination=EDGE,
+                         category=0)
+    background = topic(topic_id=1, loss=3, retention=0, category=3)
+    system = build_mini([critical, background], with_publisher=False)
+    # Periodic background traffic.
+    for index in range(10):
+        system.engine.call_after(index * ms(100), system.publish,
+                                 [msg(1, index + 1, index * ms(100))])
+    # The rare event fires at t = 0.42 s.
+    system.engine.call_after(0.42, system.publish, [msg(0, 1, 0.42)])
+    system.engine.run(until=1.5)
+    latencies = system.latencies(0)
+    assert latencies[1] <= critical.deadline
+    assert system.primary.stats.replicated == 0
+
+
+def test_streaming_topic_with_deadline_beyond_period():
+    """Di > Ti (streaming): messages outlive their period; all are
+    delivered within the long deadline and replication follows the plan."""
+    streaming = TopicSpec(topic_id=0, period=ms(10), deadline=ms(60),
+                          loss_tolerance=0, retention=10, destination=EDGE,
+                          category=2)
+    system = build_mini([streaming])
+    for index in range(20):
+        system.engine.call_after(index * ms(10), system.publish,
+                                 [msg(0, index + 1, index * ms(10))])
+    system.engine.run(until=1.0)
+    latencies = system.latencies(0)
+    assert set(latencies) == set(range(1, 21))
+    assert all(latency <= streaming.deadline for latency in latencies.values())

@@ -1,0 +1,94 @@
+"""Tests for topic/message model types and unit helpers."""
+
+import math
+
+import pytest
+
+from repro.core.model import CLOUD, EDGE, LOSS_UNBOUNDED, Message, TopicSpec
+from repro.core.units import ms, to_ms, us
+
+
+# ----------------------------------------------------------------------
+# Units
+# ----------------------------------------------------------------------
+def test_ms_roundtrip():
+    assert ms(50) == pytest.approx(0.05)
+    assert to_ms(ms(50)) == pytest.approx(50)
+
+
+def test_us():
+    assert us(7) == pytest.approx(7e-6)
+
+
+# ----------------------------------------------------------------------
+# TopicSpec validation
+# ----------------------------------------------------------------------
+def make_spec(**overrides):
+    defaults = dict(topic_id=1, period=ms(100), deadline=ms(100),
+                    loss_tolerance=0, retention=1, destination=EDGE)
+    defaults.update(overrides)
+    return TopicSpec(**defaults)
+
+
+def test_valid_spec_roundtrip():
+    spec = make_spec(category=2)
+    assert spec.period == ms(100)
+    assert spec.category == 2
+    assert not spec.best_effort
+
+
+def test_best_effort_flag():
+    assert make_spec(loss_tolerance=LOSS_UNBOUNDED).best_effort
+    assert not make_spec(loss_tolerance=3).best_effort
+
+
+def test_with_retention_returns_modified_copy():
+    spec = make_spec(retention=1)
+    boosted = spec.with_retention(2)
+    assert boosted.retention == 2
+    assert spec.retention == 1
+    assert boosted.topic_id == spec.topic_id
+
+
+@pytest.mark.parametrize("field,value", [
+    ("period", 0.0),
+    ("period", -1.0),
+    ("deadline", 0.0),
+    ("loss_tolerance", -1),
+    ("loss_tolerance", 1.5),
+    ("retention", -1),
+    ("destination", "mars"),
+])
+def test_invalid_specs_rejected(field, value):
+    with pytest.raises(ValueError):
+        make_spec(**{field: value})
+
+
+def test_spec_is_hashable_and_frozen():
+    spec = make_spec()
+    assert hash(spec) == hash(make_spec())
+    with pytest.raises(AttributeError):
+        spec.period = 1.0
+
+
+def test_unbounded_loss_is_infinite():
+    assert LOSS_UNBOUNDED == math.inf
+
+
+# ----------------------------------------------------------------------
+# Message
+# ----------------------------------------------------------------------
+def test_message_key_identity():
+    a = Message(topic_id=3, seq=7, created_at=1.5)
+    b = Message(topic_id=3, seq=7, created_at=2.5)
+    assert a.key() == b.key() == (3, 7)
+
+
+def test_message_defaults():
+    message = Message(topic_id=1, seq=1, created_at=0.0)
+    assert message.payload_size == 16   # the paper's payload size
+    assert message.data is None
+
+
+def test_destinations_are_distinct():
+    assert EDGE != CLOUD

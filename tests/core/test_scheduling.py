@@ -1,0 +1,131 @@
+"""Tests for jobs and the EDF Job Queue."""
+
+import pytest
+
+from repro.core.scheduling import DISPATCH, REPLICATE, EDFJobQueue, Job
+from repro.sim import Engine
+
+
+def job(deadline, kind=DISPATCH):
+    return Job(kind, entry=None, deadline=deadline, cost=1e-6)
+
+
+def collect(engine, queue, count):
+    got = []
+
+    def consumer():
+        for _ in range(count):
+            got.append((yield queue.pop()))
+
+    engine.spawn(consumer())
+    engine.run()
+    return got
+
+
+def test_pop_is_edf_ordered():
+    engine = Engine()
+    queue = EDFJobQueue(engine)
+    jobs = [job(3.0), job(1.0), job(2.0)]
+    for item in jobs:
+        queue.push(item)
+    got = collect(engine, queue, 3)
+    assert [item.deadline for item in got] == [1.0, 2.0, 3.0]
+
+
+def test_equal_deadlines_pop_in_push_order():
+    """FCFS degeneration: equal deadlines preserve arrival order."""
+    engine = Engine()
+    queue = EDFJobQueue(engine)
+    first = job(5.0, REPLICATE)
+    second = job(5.0, DISPATCH)
+    queue.push(first)
+    queue.push(second)
+    got = collect(engine, queue, 2)
+    assert got == [first, second]
+
+
+def test_pop_blocks_until_push():
+    engine = Engine()
+    queue = EDFJobQueue(engine)
+    got = []
+
+    def consumer():
+        got.append((yield queue.pop()))
+
+    engine.spawn(consumer())
+    item = job(1.0)
+    engine.call_after(2.0, queue.push, item)
+    engine.run()
+    assert got == [item]
+    assert engine.now == 2.0
+
+
+def test_cancelled_jobs_are_skipped():
+    engine = Engine()
+    queue = EDFJobQueue(engine)
+    doomed = job(1.0)
+    kept = job(2.0)
+    queue.push(doomed)
+    queue.push(kept)
+    queue.cancel(doomed)
+    got = collect(engine, queue, 1)
+    assert got == [kept]
+
+
+def test_len_excludes_cancelled():
+    engine = Engine()
+    queue = EDFJobQueue(engine)
+    a, b = job(1.0), job(2.0)
+    queue.push(a)
+    queue.push(b)
+    assert len(queue) == 2
+    queue.cancel(a)
+    assert len(queue) == 1
+    assert not queue.drained()
+
+
+def test_cancel_is_idempotent_for_len():
+    engine = Engine()
+    queue = EDFJobQueue(engine)
+    a = job(1.0)
+    queue.push(a)
+    queue.cancel(a)
+    queue.cancel(a)
+    assert len(queue) == 0
+    assert queue.drained()
+
+
+def test_push_of_cancelled_job_is_dropped():
+    engine = Engine()
+    queue = EDFJobQueue(engine)
+    a = job(1.0)
+    a.cancel()
+    queue.push(a)
+    assert len(queue) == 0
+
+
+def test_push_hands_job_directly_to_waiting_worker():
+    """Two waiting workers: jobs go to them in wait order."""
+    engine = Engine()
+    queue = EDFJobQueue(engine)
+    got = []
+
+    def worker(tag):
+        got.append((tag, (yield queue.pop())))
+
+    engine.spawn(worker("w0"))
+    engine.spawn(worker("w1"))
+    a, b = job(2.0), job(1.0)
+    engine.call_after(1.0, queue.push, a)
+    engine.call_after(1.0, queue.push, b)
+    engine.run()
+    # Direct handoff bypasses EDF ordering only when the queue is empty
+    # and a worker is already waiting - both jobs start immediately.
+    assert {tag for tag, _ in got} == {"w0", "w1"}
+    assert {item for _, item in got} == {a, b}
+
+
+def test_job_repr_and_recovery_flag():
+    recovery_job = Job(DISPATCH, entry=None, deadline=1.0, cost=1e-6, recovery=True)
+    assert recovery_job.recovery
+    assert "dispatch" in repr(recovery_job)

@@ -1,0 +1,238 @@
+"""Tests for the paper's timing theory (Lemmas 1-2, Proposition 1, Sec. III-D).
+
+The headline assertions reproduce, in the paper's own numbers, the worked
+example of Sec. III-D.2: the deadline ordering over the Table 2 topic set
+and which categories Proposition 1 removes replication for.
+"""
+
+import math
+
+import pytest
+
+from repro.core.model import CLOUD, EDGE, LOSS_UNBOUNDED, TopicSpec
+from repro.core.timing import (
+    DeadlineParameters,
+    admission_test,
+    deadline_order,
+    dispatch_deadline,
+    min_retention,
+    needs_replication,
+    pseudo_dispatch_deadline,
+    pseudo_replication_deadline,
+    replication_deadline,
+    replication_needed_inequality,
+    replication_suppressible,
+    replication_plan,
+)
+from repro.core.units import ms
+from repro.workloads.spec import CATEGORIES
+
+#: The Sec. III-D.2 example parameters (in ms here, units cancel).
+PARAMS = DeadlineParameters(
+    delta_pb=0.0,        # the worked example folds dPB out
+    delta_bb=0.05,
+    delta_bs_edge=1.0,
+    delta_bs_cloud=20.0,
+    failover_time=50.0,
+)
+
+
+def table2_topic(category: int, topic_id: int = 0) -> TopicSpec:
+    """A Table 2 topic with times kept in milliseconds (units cancel)."""
+    table = {
+        0: (50, 50, 0, 2, EDGE),
+        1: (50, 50, 3, 0, EDGE),
+        2: (100, 100, 0, 1, EDGE),
+        3: (100, 100, 3, 0, EDGE),
+        4: (100, 100, LOSS_UNBOUNDED, 0, EDGE),
+        5: (500, 500, 0, 1, CLOUD),
+    }
+    period, deadline, loss, retention, destination = table[category]
+    return TopicSpec(topic_id=topic_id, period=period, deadline=deadline,
+                     loss_tolerance=loss, retention=retention,
+                     destination=destination, category=category)
+
+
+# ----------------------------------------------------------------------
+# Lemma formulas
+# ----------------------------------------------------------------------
+def test_lemma1_replication_deadline_formula():
+    spec = table2_topic(2)   # Ni=1, Li=0, Ti=100
+    assert replication_deadline(spec, PARAMS) == pytest.approx(
+        (1 + 0) * 100 - 0.0 - 0.05 - 50
+    )
+
+
+def test_lemma2_dispatch_deadline_formula_edge():
+    spec = table2_topic(0)   # Di=50, edge
+    assert dispatch_deadline(spec, PARAMS) == pytest.approx(50 - 0.0 - 1.0)
+
+
+def test_lemma2_dispatch_deadline_formula_cloud():
+    spec = table2_topic(5)   # Di=500, cloud
+    assert dispatch_deadline(spec, PARAMS) == pytest.approx(500 - 0.0 - 20.0)
+
+
+def test_pseudo_deadlines_omit_delta_pb():
+    params = DeadlineParameters(delta_pb=7.0, delta_bb=0.05,
+                                delta_bs_edge=1.0, delta_bs_cloud=20.0,
+                                failover_time=50.0)
+    spec = table2_topic(2)
+    assert (pseudo_replication_deadline(spec, params)
+            - replication_deadline(spec, params)) == pytest.approx(7.0)
+    assert (pseudo_dispatch_deadline(spec, params)
+            - dispatch_deadline(spec, params)) == pytest.approx(7.0)
+
+
+def test_best_effort_replication_deadline_is_infinite():
+    spec = table2_topic(4)   # Li = inf
+    assert replication_deadline(spec, PARAMS) == math.inf
+
+
+# ----------------------------------------------------------------------
+# The Sec. III-D.2 worked example
+# ----------------------------------------------------------------------
+def test_paper_deadline_ordering_example():
+    """{Dd0 = Dd1 < Dr0 = Dr2 < Dd2 = Dd3 = Dd4 < Dr1 < Dr3 < Dr5 < Dd5}."""
+    dd = {c: dispatch_deadline(table2_topic(c), PARAMS) for c in range(6)}
+    dr = {c: replication_deadline(table2_topic(c), PARAMS) for c in range(6)}
+    assert dd[0] == dd[1]
+    assert dd[0] < dr[0]
+    assert dr[0] == dr[2]
+    assert dr[2] < dd[2]
+    assert dd[2] == dd[3] == dd[4]
+    assert dd[4] < dr[1]
+    assert dr[1] < dr[3]
+    assert dr[3] < dr[5]
+    assert dr[5] < dd[5]
+
+
+def test_proposition1_removes_categories_0_1_3_keeps_2_5():
+    """Paper: only categories 2 and 5 need replication; 4 is best-effort."""
+    needed = {c: needs_replication(table2_topic(c), PARAMS) for c in range(6)}
+    assert needed == {0: False, 1: False, 2: True, 3: False, 4: False, 5: True}
+
+
+def test_frame_plus_retention_increase_removes_all_replication():
+    """Sec. III-D.3: Ni+1 on categories 2 and 5 removes their replication."""
+    for category in (2, 5):
+        boosted = table2_topic(category).with_retention(2)
+        assert not needs_replication(boosted, PARAMS)
+
+
+def test_replication_needed_inequality_matches_proposition():
+    """The paper's x + dBB - dBS > (Ni+Li)Ti - Di form is equivalent."""
+    for category in range(6):
+        spec = table2_topic(category)
+        assert replication_needed_inequality(spec, PARAMS) == (
+            not replication_suppressible(spec, PARAMS)
+        )
+
+
+def test_deadline_order_lists_replication_only_when_needed():
+    specs = [table2_topic(c, topic_id=c) for c in range(6)]
+    order = deadline_order(specs, PARAMS)
+    kinds = {(kind, topic) for kind, topic, _ in order}
+    assert ("replicate", 2) in kinds
+    assert ("replicate", 5) in kinds
+    assert ("replicate", 0) not in kinds
+    assert ("replicate", 4) not in kinds
+    deadlines = [deadline for _, _, deadline in order]
+    assert deadlines == sorted(deadlines)
+    # First entries are the category 0/1 dispatches; last is Dd5.
+    assert order[0][0] == "dispatch"
+    assert order[-1] == ("dispatch", 5, pytest.approx(480.0))
+
+
+def test_replication_plan_shape():
+    specs = [table2_topic(c, topic_id=c) for c in range(6)]
+    plan = replication_plan(specs, PARAMS)
+    assert plan == {0: False, 1: False, 2: True, 3: False, 4: False, 5: True}
+
+
+# ----------------------------------------------------------------------
+# Admission test (Sec. III-D.1) and minimum retention (Table 2 col. 5)
+# ----------------------------------------------------------------------
+def test_all_table2_categories_are_admissible():
+    for category in range(6):
+        result = admission_test(table2_topic(category), PARAMS)
+        assert result.admitted, f"category {category}: {result.reason}"
+
+
+def test_zero_loss_without_retention_is_rejected():
+    """Li=0 and Ni=0 cannot survive a crash right after an arrival."""
+    spec = table2_topic(0).with_retention(0)
+    result = admission_test(spec, PARAMS)
+    assert not result.admitted
+    assert "Dr" in result.reason
+
+
+def test_unreachable_latency_is_rejected():
+    spec = TopicSpec(topic_id=9, period=100, deadline=10, loss_tolerance=3,
+                     retention=0, destination=CLOUD)
+    result = admission_test(spec, PARAMS)   # dBS cloud = 20 > Di = 10
+    assert not result.admitted
+    assert "Dd" in result.reason
+
+
+def test_min_retention_matches_table2_column5():
+    """Table 2's Ni column is the minimum admissible retention."""
+    expected = {0: 2, 1: 0, 2: 1, 3: 0, 4: 0, 5: 1}
+    for category, minimum in expected.items():
+        spec = table2_topic(category).with_retention(0)
+        assert min_retention(spec, PARAMS) == minimum, f"category {category}"
+
+
+def test_min_retention_raises_when_dispatch_infeasible():
+    spec = TopicSpec(topic_id=9, period=100, deadline=10, loss_tolerance=0,
+                     retention=0, destination=CLOUD)
+    with pytest.raises(ValueError):
+        min_retention(spec, PARAMS)
+
+
+def test_min_retention_result_is_admissible_and_tight():
+    spec = TopicSpec(topic_id=1, period=30, deadline=60, loss_tolerance=1,
+                     retention=0, destination=EDGE)
+    minimum = min_retention(spec, PARAMS)
+    assert admission_test(spec.with_retention(minimum), PARAMS).admitted
+    if minimum > 0:
+        assert not admission_test(spec.with_retention(minimum - 1), PARAMS).admitted
+
+
+# ----------------------------------------------------------------------
+# Sec. III-D.4: Di != Ti cases
+# ----------------------------------------------------------------------
+def test_rare_critical_message_needs_no_replication():
+    """Di < Ti (emergency notification): Ti ~ inf, Li = 0, Ni > 0 admits and
+    Proposition 1 suppresses replication as long as delivery is timely."""
+    spec = TopicSpec(topic_id=1, period=1e9, deadline=30, loss_tolerance=0,
+                     retention=1, destination=EDGE)
+    assert admission_test(spec, PARAMS).admitted
+    assert not needs_replication(spec, PARAMS)
+
+
+def test_streaming_message_likely_needs_replication():
+    """Di > Ti (multimedia streaming): Equation (3) suggests a likely need
+    for replication; a large dBS (travel time consuming the deadline
+    budget) shrinks Dd and restores suppressibility."""
+    spec = TopicSpec(topic_id=1, period=10, deadline=60, loss_tolerance=0,
+                     retention=10, destination=EDGE)
+    # Dd = 59 > Dr = 49.95 with dBS = 1: replication needed.
+    assert needs_replication(spec, PARAMS)
+    long_travel = DeadlineParameters(delta_pb=0.0, delta_bb=0.05,
+                                     delta_bs_edge=59.0, delta_bs_cloud=59.0,
+                                     failover_time=50.0)
+    assert not needs_replication(spec, long_travel)
+
+
+def test_workload_categories_match_table2_units():
+    """The workload generator's categories are Table 2 in seconds."""
+    params = DeadlineParameters(
+        delta_pb=0.0, delta_bb=ms(0.05), delta_bs_edge=ms(1.0),
+        delta_bs_cloud=ms(20.0), failover_time=ms(50.0),
+    )
+    needed = {
+        c: needs_replication(CATEGORIES[c].make_topic(c), params)
+        for c in range(6)
+    }
+    assert needed == {0: False, 1: False, 2: True, 3: False, 4: False, 5: True}

@@ -1,0 +1,55 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones are executed end to
+end (the heavier drills are exercised by the benchmarks, which run the
+same sweeps with assertions).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_examples_directory_is_populated():
+    scripts = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+    assert scripts == [
+        "capacity_planning.py",
+        "failover_drill.py",
+        "iiot_factory.py",
+        "live_runtime.py",
+        "multi_edge_farm.py",
+        "quickstart.py",
+    ]
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES_DIR.glob("*.py")),
+                         ids=lambda path: path.name)
+def test_example_compiles(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+def run_example(name: str, timeout: float = 180.0) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+def test_capacity_planning_runs():
+    out = run_example("capacity_planning.py", timeout=60.0)
+    assert "admission and minimum retention" in out
+    assert "REPLICATE" in out
+    assert "replication removed" in out
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "Backup promoted" in out
+    assert "loss  100.0 %" in out

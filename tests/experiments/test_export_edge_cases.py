@@ -1,0 +1,49 @@
+"""Edge-case tests for export, cells, and reporting utilities."""
+
+import math
+
+import pytest
+
+from repro.experiments import paper_reference
+from repro.experiments.cells import TABLE_ROWS
+from repro.metrics.report import format_table, format_value
+
+
+def test_table_rows_match_paper_reference_rows():
+    """The harness's row order must equal the paper's (both are (Di, Li))."""
+    assert [(float(di), li) for di, li in paper_reference.ROWS] == [
+        (di, li) for di, li in TABLE_ROWS
+    ]
+
+
+def test_format_value_digit_control():
+    assert format_value(12.345, 0.0, digits=2) == "12.35"
+    assert format_value(12.345, 0.5, digits=2) == "12.35 ± 0.50"
+
+
+def test_format_value_tiny_interval_uses_scientific():
+    rendered = format_value(99.9, 0.00025)
+    assert "E" in rendered
+    assert rendered.startswith("99.9")
+
+
+def test_format_table_empty_rows():
+    text = format_table("T", ["a"], [])
+    assert "T" in text
+    assert text.count("\n") >= 3
+
+
+def test_format_table_handles_wide_cells():
+    text = format_table("T", ["col"], [["a-very-very-long-cell-value"]])
+    header_line = text.splitlines()[2]
+    value_line = text.splitlines()[4]
+    assert len(header_line) <= len(value_line)
+
+
+def test_row_keys_infinity_is_json_safe():
+    from repro.experiments.export import _row_key_obj
+
+    obj = _row_key_obj((100.0, math.inf))
+    assert obj == {"di_ms": 100.0, "li": "inf"}
+    obj = _row_key_obj((50.0, 3))
+    assert obj == {"di_ms": 50.0, "li": 3}

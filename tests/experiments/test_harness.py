@@ -1,0 +1,205 @@
+"""Tests for the harness: cells cache, tables, figures, export, CLI."""
+
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.core.policy import FCFS_MINUS, FRAME
+from repro.experiments import ablations, cells, export, figures, tables
+from repro.experiments.cli import main as cli_main
+from repro.experiments.runner import ExperimentSettings
+
+TINY = ExperimentSettings(paper_total=1525, scale=0.02, seed=1,
+                          warmup=1.0, measure=3.0, grace=0.5)
+
+
+# ----------------------------------------------------------------------
+# Cell cache
+# ----------------------------------------------------------------------
+def test_run_cell_caches_by_settings():
+    cells.clear_cache()
+    first = cells.run_cell(TINY)
+    size_after_first = cells.cache_size()
+    second = cells.run_cell(TINY)
+    assert first is second
+    assert cells.cache_size() == size_after_first
+
+
+def test_different_settings_get_different_cells():
+    cells.clear_cache()
+    a = cells.run_cell(TINY)
+    b = cells.run_cell(replace(TINY, seed=2))
+    assert a is not b
+    assert cells.cache_size() == 2
+
+
+def test_keep_series_upgrades_cached_cell():
+    cells.clear_cache()
+    traced = replace(TINY, traced_categories=(0,))
+    without = cells.run_cell(traced)              # summary without series
+    assert without.traces[0].series == ()
+    upgraded = cells.run_cell(traced, keep_series=True)
+    assert upgraded.traces[0].series != ()
+    assert cells.run_cell(traced, keep_series=True) is upgraded
+
+
+def test_summary_counters_are_consistent():
+    cells.clear_cache()
+    summary = cells.run_cell(TINY)
+    counters = summary.broker_counters
+    assert counters["primary_dispatched"] > 0
+    # Everything replicated was stored (reliable broker link, no crash).
+    assert counters["backup_replicas_stored"] == counters["primary_replicated"]
+    assert counters["backup_prunes_applied"] == counters["primary_prunes_sent"]
+
+
+# ----------------------------------------------------------------------
+# Tables and figures over a tiny sweep
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_table4():
+    return tables.table4(workloads=(1525,), seeds=(1, 2), settings=TINY)
+
+
+def test_table4_structure(tiny_table4):
+    assert tiny_table4.workloads == (1525,)
+    assert set(tiny_table4.policies) == {"FRAME+", "FRAME", "FCFS", "FCFS-"}
+    cell = tiny_table4.cell(1525, (50.0, 0), "FRAME")
+    assert cell.mean == 100.0
+    assert cell.paper is None   # the paper has no 1525 block in Table 4
+
+
+def test_table4_render_contains_rows(tiny_table4):
+    text = tiny_table4.render()
+    assert "TABLE 4" in text
+    assert "inf" in text
+    assert "FRAME+" in text
+
+
+def test_fig7_tiny():
+    result = figures.fig7(workloads=(1525,), seeds=(1,), settings=TINY)
+    assert result.value("primary_delivery", 1525, "FCFS") >= result.value(
+        "primary_delivery", 1525, "FRAME+")
+    assert "FIG 7" in result.render()
+
+
+def test_fig9_tiny():
+    result = figures.fig9(paper_total=1525, scale=0.05,
+                          settings=replace(TINY, scale=0.05, measure=4.0),
+                          policies=(FRAME, FCFS_MINUS))
+    frame = result.trace("FRAME", 0)
+    assert frame.delivered > 0
+    assert "FIG 9" in result.render()
+    assert result.series[("FRAME", 0)]   # full series retained
+
+
+def test_fig8_tiny():
+    result = figures.fig8(scale=0.02, day_length=20.0,
+                          settings=ExperimentSettings(warmup=1.0))
+    assert result.losses == 0
+    assert result.max_delta_bs > result.min_delta_bs
+    assert "FIG 8" in result.render()
+
+
+def test_retention_sweep_analysis():
+    sweep = ablations.retention_sweep(bonuses=(0, 1))
+    assert sweep.replicated_categories[0] == (2, 5)
+    assert sweep.replicated_categories[1] == ()
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def test_table_to_dict_and_csv(tiny_table4, tmp_path):
+    obj = export.table_to_dict(tiny_table4)
+    assert obj["metric"] == "loss"
+    assert len(obj["cells"]) == 1 * 6 * 4
+    inf_cells = [c for c in obj["cells"] if c["li"] == "inf"]
+    assert len(inf_cells) == 4
+
+    json_path = tmp_path / "table4.json"
+    export.save_json(obj, str(json_path))
+    loaded = json.loads(json_path.read_text())
+    assert loaded["cells"][0]["workload"] == 1525
+
+    csv_path = tmp_path / "table4.csv"
+    export.table_to_csv(tiny_table4, str(csv_path))
+    lines = csv_path.read_text().strip().splitlines()
+    assert lines[0].startswith("workload,di_ms,li,policy")
+    assert len(lines) == 1 + 24
+
+
+def test_fig_exports(tmp_path):
+    fig8 = figures.fig8(scale=0.02, day_length=20.0,
+                        settings=ExperimentSettings(warmup=1.0))
+    obj = export.fig8_to_dict(fig8)
+    assert obj["losses"] == 0
+    assert obj["series"]
+    fig9 = figures.fig9(paper_total=1525, scale=0.05,
+                        settings=replace(TINY, scale=0.05, measure=4.0),
+                        policies=(FRAME,), categories=(0,))
+    obj9 = export.fig9_to_dict(fig9)
+    assert obj9["panels"][0]["policy"] == "FRAME"
+    assert obj9["panels"][0]["series"]
+    fig7 = figures.fig7(workloads=(1525,), seeds=(1,), settings=TINY)
+    obj7 = export.fig7_to_dict(fig7)
+    assert len(obj7["points"]) == 3 * 1 * 4
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_fig8_writes_output(tmp_path, capsys, monkeypatch):
+    out_file = tmp_path / "out.txt"
+    # fig8 is the cheapest full command; shrink it via the scale flag.
+    code = cli_main(["--scale", "0.02", "--seeds", "1",
+                     "--out", str(out_file), "fig8"])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "FIG 8" in printed
+    assert "FIG 8" in out_file.read_text()
+
+
+def test_cli_json_export(tmp_path):
+    json_dir = tmp_path / "json"
+    code = cli_main(["--scale", "0.02", "--seeds", "1",
+                     "--json-dir", str(json_dir), "fig8"])
+    assert code == 0
+    exported = json.loads((json_dir / "fig8.json").read_text())
+    assert exported["losses"] == 0
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        cli_main([])
+
+
+def test_cli_parser_has_all_commands():
+    parser = __import__("repro.experiments.cli", fromlist=["build_parser"]).build_parser()
+    text = parser.format_help()
+    for command in ("table4", "table5", "fig7", "fig8", "fig9", "ablations",
+                    "strategies", "plan", "all"):
+        assert command in text
+
+
+def test_cli_plan_with_table2_workload(capsys):
+    code = cli_main(["plan", "--workload", "7525", "--policy", "FCFS"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "OVERLOADED" in out
+    assert "NOT deployable" in out
+
+
+def test_cli_plan_with_custom_topic_file(tmp_path, capsys):
+    from repro.workloads.custom import save_topics
+    from repro.workloads.spec import build_workload
+
+    path = tmp_path / "topics.json"
+    save_topics(list(build_workload(1525, scale=0.1).specs), str(path))
+    code = cli_main(["plan", "--topics", str(path), "--policy", "FRAME"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "DEPLOYABLE" in out
+    assert "rejected topics : 0" in out

@@ -1,0 +1,80 @@
+"""Tests for the multi-edge extension (Fig. 1: N edges, one cloud)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.multi_edge import EDGE_TOPIC_STRIDE, run_multi_edge
+from repro.experiments.runner import ExperimentSettings
+
+TINY = ExperimentSettings(paper_total=1525, scale=0.02, seed=9,
+                          warmup=1.0, measure=4.0, grace=0.5)
+
+
+@pytest.fixture(scope="module")
+def two_edges_crash():
+    return run_multi_edge(replace(TINY, crash_at=2.0), num_edges=2,
+                          crash_edge=0)
+
+
+def test_both_edges_carry_traffic(two_edges_crash):
+    for edge in two_edges_crash.edges:
+        assert edge.primary_broker.stats.dispatched > 0 or (
+            edge.backup_broker.stats.dispatched > 0)
+
+
+def test_topic_ids_do_not_collide(two_edges_crash):
+    ids_0 = {spec.topic_id for spec in two_edges_crash.edge(0).workload.specs}
+    ids_1 = {spec.topic_id for spec in two_edges_crash.edge(1).workload.specs}
+    assert ids_0.isdisjoint(ids_1)
+    assert all(topic_id >= EDGE_TOPIC_STRIDE for topic_id in ids_1)
+
+
+def test_crash_is_isolated_to_one_edge(two_edges_crash):
+    crashed = two_edges_crash.edge(0)
+    healthy = two_edges_crash.edge(1)
+    # The crashed edge failed over...
+    assert crashed.crash_time is not None
+    assert crashed.backup_broker.stats.promotion_time is not None
+    assert crashed.publisher_stats.failover_at is not None
+    # ...the healthy edge never noticed.
+    assert healthy.crash_time is None
+    assert healthy.backup_broker.stats.promotion_time is None
+    assert healthy.publisher_stats.failover_at is None
+    assert healthy.primary_broker.host.alive
+
+
+def test_guarantees_hold_on_both_edges_at_light_load(two_edges_crash):
+    for edge in two_edges_crash.edges:
+        for key, rate in edge.loss_success_by_row().items():
+            assert rate == 1.0, (edge.workload.name, key)
+
+
+def test_cloud_receives_from_every_edge(two_edges_crash):
+    received = two_edges_crash.cloud_topics_received()
+    assert received[0] > 0
+    assert received[1] > 0
+
+
+def test_cloud_rows_present_per_edge(two_edges_crash):
+    for edge in two_edges_crash.edges:
+        latency = edge.latency_success_by_row()
+        assert (500.0, 0) in latency
+        assert latency[(500.0, 0)] == 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="at least one edge"):
+        run_multi_edge(TINY, num_edges=0)
+    with pytest.raises(ValueError, match="out of range"):
+        run_multi_edge(replace(TINY, crash_at=2.0), num_edges=2, crash_edge=5)
+    with pytest.raises(ValueError, match="requires settings.crash_at"):
+        run_multi_edge(TINY, num_edges=2, crash_edge=0)
+
+
+def test_single_edge_reduces_to_normal_shape():
+    result = run_multi_edge(TINY, num_edges=1)
+    assert len(result.edges) == 1
+    assert result.crashed_edge is None
+    edge = result.edge(0)
+    assert len(edge.loss_success_by_row()) == 6

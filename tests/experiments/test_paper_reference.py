@@ -1,0 +1,74 @@
+"""Sanity checks on the transcribed paper numbers (paper_reference.py).
+
+These guard against transcription slips: every table block must cover all
+six rows and all four policies, with percentages in range, and the
+qualitative relationships the paper's text states must hold *within the
+transcription itself*.
+"""
+
+import math
+
+from repro.experiments import paper_reference as ref
+
+
+def test_tables_cover_all_rows_and_policies():
+    for table in (ref.TABLE4, ref.TABLE5):
+        for workload, rows in table.items():
+            assert set(rows) == set(ref.ROWS), workload
+            for row, by_policy in rows.items():
+                assert set(by_policy) == set(ref.POLICIES), (workload, row)
+
+
+def test_values_are_percentages():
+    for table in (ref.TABLE4, ref.TABLE5):
+        for rows in table.values():
+            for by_policy in rows.values():
+                for value in by_policy.values():
+                    assert 0.0 <= value <= 100.0
+
+
+def test_table4_fcfs_collapse_is_transcribed():
+    for workload in (7525, 10525, 13525):
+        for row in ref.ROWS:
+            expected = 100.0 if math.isinf(row[1]) else 0.0
+            assert ref.TABLE4[workload][row]["FCFS"] == expected
+
+
+def test_table4_frame_plus_always_100():
+    for workload, rows in ref.TABLE4.items():
+        for by_policy in rows.values():
+            assert by_policy["FRAME+"] == 100.0
+
+
+def test_frame_degrades_only_at_13525():
+    for workload in (7525, 10525):
+        for row in ref.ROWS:
+            assert ref.TABLE4[workload][row]["FRAME"] == 100.0
+    finite_rows = [row for row in ref.ROWS if not math.isinf(row[1])]
+    degraded = [ref.TABLE4[13525][row]["FRAME"] for row in finite_rows]
+    assert all(value < 100.0 for value in degraded)
+    assert all(value >= 70.0 for value in degraded)
+
+
+def test_table5_orderings_match_paper_text():
+    # At 13525: FRAME+ and FCFS- in the high 90s, FRAME in the mid 80s,
+    # FCFS collapsed.
+    for row in ref.ROWS:
+        block = ref.TABLE5[13525][row]
+        assert block["FCFS"] < 1.0
+        assert 80.0 <= block["FRAME"] <= 90.0
+        assert block["FRAME+"] >= 97.0
+        assert block["FCFS-"] >= 98.0
+
+
+def test_paper_value_lookup():
+    assert ref.paper_value(ref.TABLE4, 13525, (100, 0), "FCFS-") == 78.4
+    assert ref.paper_value(ref.TABLE4, 1525, (50, 0), "FRAME") is None
+    assert ref.paper_value(ref.TABLE4, 7525, (50, 0), "NoSuchPolicy") is None
+    assert ref.paper_value(ref.TABLE4, 7525, (49, 0), "FRAME") is None
+
+
+def test_fig8_constants():
+    assert ref.FIG8_DELTA_BS_SETUP_MS == 20.7
+    assert ref.FIG8_SPIKE_MS == 104.0
+    assert set(ref.FIG9_NOTES) == set(ref.POLICIES)

@@ -1,0 +1,175 @@
+"""Tests for the experiment runner: invariants every cell must satisfy."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core.policy import FCFS_MINUS, FRAME, FRAME_PLUS
+from repro.experiments.runner import ExperimentSettings, run_experiment
+
+#: A tiny but complete cell (all six categories present).
+TINY = ExperimentSettings(paper_total=1525, scale=0.02, seed=5,
+                          warmup=1.0, measure=4.0, grace=0.5)
+
+
+@pytest.fixture(scope="module")
+def faultfree():
+    return run_experiment(TINY)
+
+
+@pytest.fixture(scope="module")
+def crashed():
+    return run_experiment(replace(TINY, crash_at=2.0, traced_categories=(0, 2, 5)))
+
+
+# ----------------------------------------------------------------------
+# Conservation and sanity invariants
+# ----------------------------------------------------------------------
+def test_delivered_is_subset_of_published(faultfree):
+    result = faultfree
+    for spec in result.workload.specs:
+        delivered = result.subscriber_stats.delivered_seqs(spec.topic_id)
+        created = len(result.publisher_stats.created.get(spec.topic_id, []))
+        assert all(1 <= seq <= created for seq in delivered)
+
+
+def test_every_topic_has_traffic(faultfree):
+    for spec in faultfree.workload.specs:
+        assert len(faultfree.publisher_stats.created.get(spec.topic_id, [])) > 0
+
+
+def test_utilizations_are_fractions(faultfree):
+    for name, value in faultfree.utilizations().items():
+        assert 0.0 <= value <= 1.0, name
+
+
+def test_faultfree_run_has_no_promotion(faultfree):
+    assert faultfree.crash_time is None
+    assert faultfree.backup_broker.stats.promotion_time is None
+    assert faultfree.publisher_stats.failover_at is None
+
+
+def test_faultfree_light_load_meets_everything(faultfree):
+    for rate in faultfree.loss_success_by_row().values():
+        assert rate == 1.0
+    for rate in faultfree.latency_success_by_row().values():
+        assert rate == 1.0
+
+
+def test_rows_cover_all_six_categories(faultfree):
+    assert len(faultfree.loss_success_by_row()) == 6
+
+
+# ----------------------------------------------------------------------
+# Crash-run invariants
+# ----------------------------------------------------------------------
+def test_crash_triggers_promotion_and_failover(crashed):
+    result = crashed
+    assert result.crash_time is not None
+    promotion = result.backup_broker.stats.promotion_time
+    assert promotion is not None
+    assert promotion > result.crash_time
+    assert promotion - result.crash_time < 0.06
+    assert result.publisher_stats.failover_at is not None
+    assert (result.publisher_stats.failover_at - result.crash_time
+            <= result.settings.failover_bound)
+
+
+def test_crash_run_still_meets_loss_tolerance_at_light_load(crashed):
+    for key, rate in crashed.loss_success_by_row().items():
+        assert rate == 1.0, key
+
+
+def test_backup_dispatches_after_promotion(crashed):
+    assert crashed.backup_broker.stats.dispatched > 0
+
+
+def test_traced_categories_have_series(crashed):
+    for category in (0, 2, 5):
+        trace = crashed.trace_of_category(category)
+        assert len(trace) > 0
+        # Deliveries happen on both sides of the crash.
+        assert any(t.received_true_time < crashed.crash_time for t in trace)
+        assert any(t.received_true_time > crashed.crash_time for t in trace)
+
+
+def test_duplicates_only_arise_from_recovery(faultfree, crashed):
+    assert faultfree.subscriber_stats.duplicates == 0
+    assert crashed.subscriber_stats.duplicates >= 0
+
+
+# ----------------------------------------------------------------------
+# Settings validation and determinism
+# ----------------------------------------------------------------------
+def test_crash_outside_measure_rejected():
+    with pytest.raises(ValueError, match="measuring phase"):
+        run_experiment(replace(TINY, crash_at=100.0))
+
+
+def test_same_seed_same_results():
+    a = run_experiment(TINY)
+    b = run_experiment(TINY)
+    assert a.loss_success_by_row() == b.loss_success_by_row()
+    assert a.latency_success_by_row() == b.latency_success_by_row()
+    assert a.utilizations() == b.utilizations()
+
+
+def test_different_seeds_differ_somewhere():
+    a = run_experiment(TINY)
+    b = run_experiment(replace(TINY, seed=6))
+    assert a.utilizations() != b.utilizations()
+
+
+def test_published_seqs_respects_accounting_window(faultfree):
+    spec = faultfree.workload.specs[0]
+    seqs = faultfree.published_seqs(spec.topic_id)
+    log = faultfree.publisher_stats.created[spec.topic_id]
+    t0, _ = faultfree.window
+    for seq in seqs:
+        assert t0 <= log[seq - 1] < faultfree.accounting_end
+
+
+def test_latency_percentiles_by_row(faultfree):
+    p50 = faultfree.latency_percentile_by_row(0.5)
+    p99 = faultfree.latency_percentile_by_row(0.99)
+    assert set(p50) == set(faultfree.loss_success_by_row())
+    for key in p50:
+        assert 0.0 < p50[key] <= p99[key]
+    # Cloud rows ride the WAN (>=20 ms floor): their median clearly
+    # exceeds the edge rows' (which carry only LAN + service time).
+    assert p50[(500.0, 0)] > 2 * p50[(100.0, 0)]
+    assert p50[(500.0, 0)] > 0.020
+
+
+def test_fanout_delivers_to_all_and_judges_worst_case():
+    """subscribers_per_topic=2: every edge message reaches both edge
+    subscriber hosts; guarantees still hold at light load and the broker
+    dispatches once per message (one job, two pushes)."""
+    single = run_experiment(TINY)
+    fanned = run_experiment(replace(TINY, subscribers_per_topic=2))
+    for rate in fanned.loss_success_by_row().values():
+        assert rate == 1.0
+    for rate in fanned.latency_success_by_row().values():
+        assert rate == 1.0
+    # Dispatch count is per message, not per subscriber...
+    assert fanned.primary_broker.stats.dispatched == pytest.approx(
+        single.primary_broker.stats.dispatched, rel=0.02)
+    # ...while the wire carries roughly one extra push per edge message.
+    edge_specs = [spec for spec in fanned.workload.specs
+                  if spec.destination != "cloud"]
+    assert len(edge_specs) > 0
+
+
+def test_fanout_validation():
+    with pytest.raises(ValueError, match="subscribers_per_topic"):
+        run_experiment(replace(TINY, subscribers_per_topic=3))
+    with pytest.raises(ValueError, match="subscribers_per_topic"):
+        run_experiment(replace(TINY, subscribers_per_topic=0))
+
+
+def test_topic_spec_lookup(faultfree):
+    spec = faultfree.workload.specs[3]
+    assert faultfree.topic_spec(spec.topic_id) == spec
+    with pytest.raises(KeyError):
+        faultfree.topic_spec(10**9)

@@ -1,0 +1,96 @@
+"""Tests for fault plans and crash scenarios beyond the paper's default."""
+
+import pytest
+
+from repro.core.model import Message
+from repro.faults.injector import CrashInjector, FaultPlan
+from repro.sim import Engine, Host
+
+from tests.helpers import build_mini, topic
+
+
+# ----------------------------------------------------------------------
+# FaultPlan / CrashInjector mechanics
+# ----------------------------------------------------------------------
+def test_primary_crash_plan():
+    plan = FaultPlan.primary_crash(at=3.0)
+    assert plan.crash_time_of("primary") == 3.0
+    assert plan.crash_time_of("backup") is None
+
+
+def test_none_plan_is_empty():
+    assert FaultPlan.none().crashes == ()
+
+
+def test_injector_crashes_at_scheduled_time():
+    engine = Engine()
+    host = Host(engine, "victim")
+    injector = CrashInjector(engine, {"victim": host},
+                             FaultPlan(crashes=(("victim", 2.5),)))
+    engine.run(until=2.0)
+    assert host.alive
+    engine.run(until=3.0)
+    assert not host.alive
+    assert injector.injected == [("victim", 2.5)]
+
+
+def test_injector_rejects_unknown_host():
+    engine = Engine()
+    with pytest.raises(KeyError, match="unknown host"):
+        CrashInjector(engine, {}, FaultPlan(crashes=(("ghost", 1.0),)))
+
+
+def test_multiple_crashes_in_one_plan():
+    engine = Engine()
+    a, b = Host(engine, "a"), Host(engine, "b")
+    CrashInjector(engine, {"a": a, "b": b},
+                  FaultPlan(crashes=(("a", 1.0), ("b", 2.0))))
+    engine.run(until=3.0)
+    assert not a.alive and not b.alive
+    assert a.crash_time == 1.0 and b.crash_time == 2.0
+
+
+# ----------------------------------------------------------------------
+# Crash scenarios the paper does not run (extension coverage)
+# ----------------------------------------------------------------------
+def test_backup_crash_leaves_service_running_unprotected():
+    """Killing the *Backup* must not disturb delivery; replication traffic
+    simply disappears into the dead host."""
+    system = build_mini([topic(topic_id=0)], with_publisher=True)
+    system.engine.call_after(0.45, system.backup_host.crash)
+    system.engine.run(until=1.2)
+    created = len(system.publisher_stats.created[0])
+    assert created >= 8
+    missing = set(range(1, created - 1)) - system.delivered_seqs(0)
+    assert missing == set()
+    # Replication attempts after the crash were sent but never arrived.
+    assert system.primary.stats.replicated > 0
+    assert system.backup.stats.replicas_stored < system.primary.stats.replicated
+
+
+def test_double_crash_stops_the_service():
+    """Both brokers dying exceeds the fault model: delivery stops, which
+    is exactly what the one-failure assumption predicts."""
+    system = build_mini([topic(topic_id=0)], with_publisher=True,
+                        with_promoter=True)
+    system.engine.call_after(0.4, system.primary_host.crash)
+    system.engine.call_after(0.8, system.backup_host.crash)
+    system.engine.run(until=1.5)
+    delivered = system.delivered_seqs(0)
+    created = len(system.publisher_stats.created[0])
+    # Messages created well after the double failure cannot be delivered.
+    late_seqs = {seq for seq in range(1, created + 1)
+                 if system.publisher_stats.created[0][seq - 1] > 0.9}
+    assert late_seqs
+    assert late_seqs.isdisjoint(delivered)
+
+
+def test_crash_before_any_traffic_is_survivable():
+    system = build_mini([topic(topic_id=0)], with_publisher=True,
+                        with_promoter=True)
+    system.engine.call_after(0.001, system.primary_host.crash)
+    system.engine.run(until=1.0)
+    assert system.backup.stats.promotion_time is not None
+    created = len(system.publisher_stats.created[0])
+    missing = set(range(1, created - 1)) - system.delivered_seqs(0)
+    assert missing == set()

@@ -1,0 +1,129 @@
+"""A hand-wired mini deployment for broker-level tests.
+
+Four hosts (publisher, primary, backup, subscriber) with constant link
+latencies and no clock error, so tests can reason about exact timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.actors.detector import FailureDetector
+from repro.actors.publisher import PublisherProxy, PublisherStats
+from repro.actors.subscriber import Subscriber
+from repro.core.broker import BACKUP, PRIMARY, Broker
+from repro.core.config import CostModel, SystemConfig
+from repro.core.model import EDGE, TopicSpec
+from repro.core.policy import FRAME, ConfigPolicy
+from repro.core.protocol import PublishBatch
+from repro.core.timing import DeadlineParameters
+from repro.core.units import ms, us
+from repro.net.topology import Network
+from repro.sim.engine import Engine
+from repro.sim.host import Host
+
+#: Cheap, uniform costs so tests stay fast and arithmetic stays simple.
+TEST_COSTS = CostModel(
+    proxy_per_message=us(10), dispatch=us(20), replicate=us(20),
+    coordinate=us(10), backup_store=us(10), backup_prune=us(5),
+    recovery_skip=us(1), recovery_select=us(10),
+)
+
+TEST_PARAMS = DeadlineParameters(
+    delta_pb=ms(0.3), delta_bb=ms(0.05), delta_bs_edge=ms(1.0),
+    delta_bs_cloud=ms(20.0), failover_time=ms(50.0),
+)
+
+
+def topic(topic_id=0, period=ms(100), deadline=ms(100), loss=0, retention=1,
+          category=2) -> TopicSpec:
+    return TopicSpec(topic_id=topic_id, period=period, deadline=deadline,
+                     loss_tolerance=loss, retention=retention,
+                     destination=EDGE, category=category)
+
+
+@dataclass
+class MiniSystem:
+    engine: Engine
+    network: Network
+    pub_host: Host
+    primary_host: Host
+    backup_host: Host
+    sub_host: Host
+    primary: Broker
+    backup: Broker
+    subscriber: Subscriber
+    config: SystemConfig
+    publisher: Optional[PublisherProxy] = None
+    publisher_stats: PublisherStats = field(default_factory=PublisherStats)
+
+    def publish(self, messages, resend=False, publisher_id="test-pub") -> None:
+        """Inject a batch directly from the publisher host."""
+        self.network.send(self.pub_host, self.primary.ingress_address,
+                          PublishBatch(publisher_id, list(messages), resend=resend))
+
+    def delivered_seqs(self, topic_id: int):
+        return self.subscriber.stats.delivered_seqs(topic_id)
+
+    def latencies(self, topic_id: int) -> Dict[int, float]:
+        return self.subscriber.stats.latency_by_seq.get(topic_id, {})
+
+
+def build_mini(specs: List[TopicSpec], policy: ConfigPolicy = FRAME,
+               costs: CostModel = TEST_COSTS,
+               link_latency: float = ms(0.25),
+               broker_link: float = ms(0.05),
+               backup_capacity: int = 10,
+               delivery_workers: int = 2,
+               with_publisher: bool = False,
+               with_promoter: bool = False,
+               traced_topics: Tuple[int, ...] = (),
+               seed: int = 0) -> MiniSystem:
+    engine = Engine(seed=seed)
+    network = Network(engine)
+    pub_host = Host(engine, "pub")
+    primary_host = Host(engine, "primary")
+    backup_host = Host(engine, "backup")
+    sub_host = Host(engine, "sub")
+    network.connect(pub_host, primary_host, link_latency)
+    network.connect(pub_host, backup_host, link_latency)
+    network.connect(primary_host, backup_host, broker_link)
+    network.connect(primary_host, sub_host, link_latency)
+    network.connect(backup_host, sub_host, link_latency)
+
+    config = SystemConfig.from_specs(
+        specs, policy=policy, params=TEST_PARAMS, costs=costs,
+        subscriptions={spec.topic_id: ("sub/sub",) for spec in specs},
+        backup_buffer_capacity=backup_capacity,
+        delivery_workers=delivery_workers,
+    )
+    primary = Broker(engine, primary_host, network, config, name="B1",
+                     role=PRIMARY, peer_name="B2")
+    backup = Broker(engine, backup_host, network, config, name="B2",
+                    role=BACKUP, peer_name=None)
+    primary.stats.set_window(0.0, 1e9)
+    backup.stats.set_window(0.0, 1e9)
+    subscriber = Subscriber(engine, sub_host, network, name="sub",
+                            traced_topics=traced_topics)
+    system = MiniSystem(engine=engine, network=network, pub_host=pub_host,
+                        primary_host=primary_host, backup_host=backup_host,
+                        sub_host=sub_host, primary=primary, backup=backup,
+                        subscriber=subscriber, config=config)
+    if with_publisher:
+        system.publisher = PublisherProxy(
+            engine, pub_host, network, publisher_id="proxy-0",
+            specs=list(config.topics.values()),
+            primary_ingress=primary.ingress_address,
+            backup_ingress=backup.ingress_address,
+            failover_bound=ms(50), detector_poll=ms(15),
+            detector_timeout=ms(10), detector_misses=2,
+            jitter_fraction=0.0, stats=system.publisher_stats,
+        )
+    if with_promoter:
+        FailureDetector(engine, backup_host, network, name="promoter",
+                        target_ctl_address=primary.ctl_address,
+                        on_failure=backup.promote,
+                        poll_interval=ms(10), reply_timeout=ms(8),
+                        miss_threshold=2)
+    return system

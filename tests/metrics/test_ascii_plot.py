@@ -1,0 +1,78 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.metrics.ascii_plot import ascii_chart, sparkline
+
+
+def test_chart_contains_extremes_and_title():
+    xs = list(range(10))
+    ys = [0.0, 1, 2, 3, 4, 5, 6, 7, 8, 100.0]
+    text = ascii_chart(xs, ys, title="demo", y_label="ms")
+    assert "demo" in text
+    assert "100" in text       # y max label
+    assert "0" in text         # y min label
+    assert "*" in text
+    assert "[ms]" in text
+
+
+def test_chart_flat_series_does_not_divide_by_zero():
+    text = ascii_chart([0, 1, 2], [5.0, 5.0, 5.0])
+    assert "*" in text
+
+
+def test_chart_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], [1.0])
+
+
+def test_chart_rejects_tiny_canvas():
+    with pytest.raises(ValueError):
+        ascii_chart([1], [1.0], width=4, height=2)
+
+
+def test_chart_with_no_finite_data():
+    text = ascii_chart([0.0], [math.nan])
+    assert "(no data)" in text
+
+
+def test_chart_row_count():
+    text = ascii_chart(list(range(5)), [float(i) for i in range(5)],
+                       width=20, height=6)
+    lines = text.splitlines()
+    # 6 grid rows + axis + footer
+    assert len(lines) == 8
+
+
+def test_sparkline_levels():
+    line = sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] == " "
+    assert line[-1] == "@"
+
+
+def test_sparkline_downsamples_preserving_peaks():
+    values = [0.0] * 100
+    values[37] = 10.0
+    line = sparkline(values, width=10)
+    assert len(line) == 10
+    assert "@" in line          # the spike survives downsampling
+
+
+def test_sparkline_empty_and_nan():
+    assert sparkline([]) == ""
+    assert sparkline([math.nan]) == ""
+    assert "?" in sparkline([1.0, math.nan, 2.0])
+
+
+def test_fig8_chart_renders():
+    from repro.experiments.figures import fig8
+    from repro.experiments.runner import ExperimentSettings
+
+    result = fig8(scale=0.02, day_length=20.0,
+                  settings=ExperimentSettings(warmup=1.0))
+    chart = result.render_chart()
+    assert "dBS (ms)" in chart
+    assert "*" in chart

@@ -1,0 +1,183 @@
+"""Tests for loss accounting, latency summaries, stats, and reporting."""
+
+import math
+
+import pytest
+
+from repro.core.model import LOSS_UNBOUNDED
+from repro.metrics.latency import latency_summary, percentile
+from repro.metrics.loss import (
+    consecutive_loss_runs,
+    max_consecutive_losses,
+    meets_loss_tolerance,
+    success_fraction,
+    total_losses,
+)
+from repro.metrics.report import format_table, format_value
+from repro.metrics.stats import mean_confidence_interval, sample_std, t_critical_95
+
+
+# ----------------------------------------------------------------------
+# Loss accounting
+# ----------------------------------------------------------------------
+def test_no_losses():
+    published = [1, 2, 3, 4]
+    delivered = {1, 2, 3, 4}
+    assert max_consecutive_losses(published, delivered) == 0
+    assert consecutive_loss_runs(published, delivered) == []
+    assert total_losses(published, delivered) == 0
+
+
+def test_single_loss_run():
+    published = list(range(1, 11))
+    delivered = set(published) - {4, 5, 6}
+    assert max_consecutive_losses(published, delivered) == 3
+    assert consecutive_loss_runs(published, delivered) == [(4, 3)]
+    assert total_losses(published, delivered) == 3
+
+
+def test_multiple_runs_reports_longest():
+    published = list(range(1, 11))
+    delivered = set(published) - {2, 5, 6, 9, 10}
+    assert max_consecutive_losses(published, delivered) == 2
+    assert consecutive_loss_runs(published, delivered) == [(2, 1), (5, 2), (9, 2)]
+
+
+def test_trailing_run_counts():
+    published = [1, 2, 3, 4]
+    delivered = {1}
+    assert max_consecutive_losses(published, delivered) == 3
+    assert consecutive_loss_runs(published, delivered) == [(2, 3)]
+
+
+def test_everything_lost():
+    published = [1, 2, 3]
+    assert max_consecutive_losses(published, set()) == 3
+
+
+def test_empty_published_is_vacuous():
+    assert max_consecutive_losses([], {1}) == 0
+    assert meets_loss_tolerance([], set(), 0)
+
+
+def test_meets_loss_tolerance_boundary():
+    published = list(range(1, 11))
+    delivered = set(published) - {3, 4, 5}
+    assert meets_loss_tolerance(published, delivered, 3)
+    assert not meets_loss_tolerance(published, delivered, 2)
+
+
+def test_unbounded_tolerance_always_met():
+    assert meets_loss_tolerance([1, 2, 3], set(), LOSS_UNBOUNDED)
+
+
+def test_success_fraction():
+    assert success_fraction([True, True, False, False]) == 0.5
+    assert success_fraction([]) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Latency summaries
+# ----------------------------------------------------------------------
+def test_latency_summary_counts_on_time():
+    published = [1, 2, 3, 4]
+    records = {1: 0.010, 2: 0.200, 3: 0.050}     # 4 undelivered
+    summary = latency_summary(published, records, deadline=0.100)
+    assert summary.published == 4
+    assert summary.delivered == 3
+    assert summary.on_time == 2
+    assert summary.success_rate == pytest.approx(0.5)
+    assert summary.delivery_rate == pytest.approx(0.75)
+    assert summary.mean_latency == pytest.approx((0.010 + 0.200 + 0.050) / 3)
+    assert summary.max_latency == pytest.approx(0.200)
+
+
+def test_latency_summary_empty_is_vacuous():
+    summary = latency_summary([], {}, deadline=0.1)
+    assert summary.success_rate == 1.0
+    assert math.isnan(summary.mean_latency)
+
+
+def test_latency_exactly_at_deadline_is_success():
+    summary = latency_summary([1], {1: 0.1}, deadline=0.1)
+    assert summary.on_time == 1
+
+
+def test_percentile_nearest_rank():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0.5) == 20.0
+    assert percentile(values, 0.99) == 40.0
+    assert percentile(values, 0.0) == 10.0
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile(values, 1.5)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+def test_mean_ci_single_sample():
+    assert mean_confidence_interval([5.0]) == (5.0, 0.0)
+
+
+def test_mean_ci_identical_samples_zero_width():
+    mean, half = mean_confidence_interval([3.0, 3.0, 3.0])
+    assert mean == 3.0
+    assert half == 0.0
+
+
+def test_mean_ci_known_value():
+    # n=4, values 0,0,10,10: mean 5, s = 5.7735, CI = t(3) * s / 2
+    mean, half = mean_confidence_interval([0.0, 0.0, 10.0, 10.0])
+    assert mean == 5.0
+    expected = 3.182 * math.sqrt(100.0 / 3.0) / 2.0
+    assert half == pytest.approx(expected, rel=1e-3)
+
+
+def test_mean_ci_empty_rejected():
+    with pytest.raises(ValueError):
+        mean_confidence_interval([])
+
+
+def test_t_table_against_scipy_if_available():
+    scipy_stats = pytest.importorskip("scipy.stats")
+    for df in (1, 2, 5, 9, 29):
+        assert t_critical_95(df) == pytest.approx(
+            scipy_stats.t.ppf(0.975, df), abs=2e-3)
+    # Beyond the table the normal approximation is used (within 1.5 %).
+    assert t_critical_95(100) == pytest.approx(
+        scipy_stats.t.ppf(0.975, 100), rel=0.015)
+
+
+def test_t_table_validation():
+    with pytest.raises(ValueError):
+        t_critical_95(0)
+
+
+def test_sample_std():
+    assert sample_std([1.0]) == 0.0
+    assert sample_std([2.0, 4.0]) == pytest.approx(math.sqrt(2.0))
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def test_format_value_paper_style():
+    assert format_value(100.0, 0.0) == "100.0"
+    assert format_value(99.9, 0.025) == "99.9 ± 2.5E-02"
+    assert format_value(80.0, 30.1) == "80.0 ± 30.1"
+
+
+def test_format_table_renders_aligned_rows():
+    text = format_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "bb" in lines[2]
+    # title, rule, header, rule, two rows, rule
+    assert len(lines) == 7
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table("T", ["a", "b"], [["only-one"]])

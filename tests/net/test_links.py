@@ -1,0 +1,127 @@
+"""Tests for latency models (link.py and cloud.py)."""
+
+import math
+import random
+
+import pytest
+
+from repro.net.cloud import CloudLatencyModel, LatencySpike
+from repro.net.link import (
+    ConstantLatency,
+    LognormalLatency,
+    TraceLatency,
+    UniformLatency,
+)
+
+
+def rng():
+    return random.Random(42)
+
+
+# ----------------------------------------------------------------------
+# Basic models
+# ----------------------------------------------------------------------
+def test_constant_latency():
+    model = ConstantLatency(0.005)
+    assert model.sample(rng(), 0.0) == 0.005
+    assert model.sample(rng(), 99.0) == 0.005
+
+
+def test_constant_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatency(-1.0)
+
+
+def test_uniform_latency_within_bounds():
+    model = UniformLatency(2e-4, 3e-4)
+    r = rng()
+    samples = [model.sample(r, 0.0) for _ in range(1000)]
+    assert all(2e-4 <= s <= 3e-4 for s in samples)
+    assert max(samples) - min(samples) > 1e-5   # actually varies
+
+
+def test_uniform_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(3e-4, 2e-4)
+    with pytest.raises(ValueError):
+        UniformLatency(-1e-4, 2e-4)
+
+
+def test_lognormal_respects_floor():
+    model = LognormalLatency(floor=0.020, median_extra=0.0005, sigma=0.6)
+    r = rng()
+    samples = [model.sample(r, 0.0) for _ in range(1000)]
+    assert all(s > 0.020 for s in samples)
+    # Median excess should be near the configured median.
+    excess = sorted(s - 0.020 for s in samples)[500]
+    assert 0.0003 < excess < 0.0008
+
+
+def test_lognormal_rejects_bad_params():
+    with pytest.raises(ValueError):
+        LognormalLatency(floor=-1.0, median_extra=0.1)
+    with pytest.raises(ValueError):
+        LognormalLatency(floor=0.0, median_extra=0.0)
+
+
+# ----------------------------------------------------------------------
+# Trace replay
+# ----------------------------------------------------------------------
+def test_trace_latency_step_interpolation():
+    model = TraceLatency([(0.0, 0.010), (10.0, 0.020), (20.0, 0.015)])
+    r = rng()
+    assert model.sample(r, 5.0) == 0.010
+    assert model.sample(r, 10.0) == 0.020
+    assert model.sample(r, 19.9) == 0.020
+    assert model.sample(r, 25.0) == 0.015
+
+
+def test_trace_latency_before_first_sample():
+    model = TraceLatency([(10.0, 0.020)])
+    assert model.sample(rng(), 0.0) == 0.020
+
+
+def test_trace_latency_validation():
+    with pytest.raises(ValueError):
+        TraceLatency([])
+    with pytest.raises(ValueError):
+        TraceLatency([(0.0, -1.0)])
+
+
+# ----------------------------------------------------------------------
+# Cloud model (Fig. 8 driver)
+# ----------------------------------------------------------------------
+def test_cloud_baseline_respects_floor_and_amplitude():
+    model = CloudLatencyModel(floor=0.0203, diurnal_amplitude=0.003,
+                              day_length=240.0)
+    baselines = [model.baseline(t) for t in range(0, 240, 5)]
+    assert min(baselines) >= 0.0203 - 1e-12
+    assert max(baselines) <= 0.0203 + 0.003 + 1e-12
+    assert max(baselines) - min(baselines) > 0.002   # diurnal swing visible
+
+
+def test_cloud_spike_adds_magnitude_while_active():
+    spike = LatencySpike(start=100.0, duration=10.0, magnitude=0.104)
+    model = CloudLatencyModel(floor=0.0203, diurnal_amplitude=0.0,
+                              day_length=240.0, spikes=(spike,))
+    assert model.baseline(99.0) == pytest.approx(0.0203)
+    assert model.baseline(105.0) == pytest.approx(0.0203 + 0.104)
+    assert model.baseline(110.0) == pytest.approx(0.0203)
+    # Spikes recur each (compressed) day.
+    assert model.baseline(240.0 + 105.0) == pytest.approx(0.0203 + 0.104)
+
+
+def test_cloud_samples_never_below_minimum():
+    model = CloudLatencyModel(floor=0.0205)
+    r = rng()
+    samples = [model.sample(r, t * 0.1) for t in range(2000)]
+    assert all(s > model.minimum() for s in samples)
+
+
+def test_cloud_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        CloudLatencyModel(floor=-1.0)
+    with pytest.raises(ValueError):
+        CloudLatencyModel(day_length=0.0)
+    with pytest.raises(ValueError):
+        CloudLatencyModel(jitter_median=0.0)

@@ -1,0 +1,142 @@
+"""Tests for the network fabric: addressing, FIFO links, crash semantics."""
+
+import pytest
+
+from repro.net.link import UniformLatency
+from repro.net.topology import Network
+from repro.sim import Engine, Host
+
+
+def setup():
+    engine = Engine(seed=7)
+    network = Network(engine)
+    a = Host(engine, "a")
+    b = Host(engine, "b")
+    network.connect(a, b, 0.001)
+    return engine, network, a, b
+
+
+def test_send_delivers_after_link_latency():
+    engine, network, a, b = setup()
+    got = []
+    network.register(b, "b/svc", got.append)
+    assert network.send(a, "b/svc", "hello")
+    engine.run()
+    assert got == ["hello"]
+    assert engine.now == pytest.approx(0.001)
+
+
+def test_fifo_ordering_despite_jitter():
+    engine = Engine(seed=7)
+    network = Network(engine)
+    a, b = Host(engine, "a"), Host(engine, "b")
+    network.connect(a, b, UniformLatency(0.0001, 0.010))
+    got = []
+    network.register(b, "b/svc", got.append)
+    for index in range(50):
+        engine.call_after(index * 1e-5, network.send, a, "b/svc", index)
+    engine.run()
+    assert got == list(range(50))
+
+
+def test_directions_are_independent():
+    engine, network, a, b = setup()
+    got_a, got_b = [], []
+    network.register(a, "a/svc", got_a.append)
+    network.register(b, "b/svc", got_b.append)
+    network.send(a, "b/svc", "to-b")
+    network.send(b, "a/svc", "to-a")
+    engine.run()
+    assert got_a == ["to-a"]
+    assert got_b == ["to-b"]
+
+
+def test_send_to_unknown_address_returns_false():
+    engine, network, a, b = setup()
+    assert not network.send(a, "nowhere/svc", "x")
+    assert network.dropped_count == 1
+
+
+def test_send_from_dead_host_fails():
+    engine, network, a, b = setup()
+    network.register(b, "b/svc", lambda m: None)
+    a.crash()
+    assert not network.send(a, "b/svc", "x")
+
+
+def test_delivery_to_host_that_died_in_flight_is_dropped():
+    engine, network, a, b = setup()
+    got = []
+    network.register(b, "b/svc", got.append)
+    network.send(a, "b/svc", "x")
+    engine.call_at(0.0005, b.crash)   # dies while the packet is in flight
+    engine.run()
+    assert got == []
+    assert network.dropped_count == 1
+
+
+def test_message_in_flight_from_dying_sender_still_arrives():
+    engine, network, a, b = setup()
+    got = []
+    network.register(b, "b/svc", got.append)
+    network.send(a, "b/svc", "x")
+    engine.call_at(0.0005, a.crash)   # sender dies after the packet left
+    engine.run()
+    assert got == ["x"]
+
+
+def test_missing_link_raises():
+    engine = Engine()
+    network = Network(engine)
+    a, b = Host(engine, "a"), Host(engine, "b")
+    network.register(b, "b/svc", lambda m: None)
+    with pytest.raises(ValueError, match="no link"):
+        network.send(a, "b/svc", "x")
+
+
+def test_duplicate_link_rejected():
+    engine, network, a, b = setup()
+    with pytest.raises(ValueError, match="already exists"):
+        network.connect(a, b, 0.002)
+
+
+def test_rebinding_live_foreign_address_rejected():
+    engine, network, a, b = setup()
+    network.register(b, "svc", lambda m: None)
+    with pytest.raises(ValueError, match="already registered"):
+        network.register(a, "svc", lambda m: None)
+
+
+def test_rebinding_after_owner_death_allowed():
+    engine, network, a, b = setup()
+    network.register(b, "svc", lambda m: None)
+    b.crash()
+    network.register(a, "svc", lambda m: None)  # fail-over takeover
+    assert network.endpoint_host("svc") is a
+
+
+def test_same_host_may_update_handler():
+    engine, network, a, b = setup()
+    first, second = [], []
+    network.register(b, "svc", first.append)
+    network.register(b, "svc", second.append)
+    network.send(a, "svc", "x")
+    engine.run()
+    assert first == []
+    assert second == ["x"]
+
+
+def test_unregister():
+    engine, network, a, b = setup()
+    network.register(b, "svc", lambda m: None)
+    network.unregister("svc")
+    assert network.endpoint_host("svc") is None
+    assert not network.send(a, "svc", "x")
+
+
+def test_sent_count_tracks_wire_messages():
+    engine, network, a, b = setup()
+    network.register(b, "b/svc", lambda m: None)
+    network.send(a, "b/svc", 1)
+    network.send(a, "b/svc", 2)
+    assert network.sent_count == 2

@@ -1,0 +1,119 @@
+"""Schedule-fuzzing properties of the dispatch-replicate coordination.
+
+The Table 3 algorithm must be correct under *any* interleaving of the
+dispatch and replication work.  The simulator is deterministic, so we
+explore interleavings by fuzzing the service-time parameters (and with
+them the relative order of every dispatch, replication, prune, and
+network delivery) and assert the coordination invariants on the outcome.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import Message
+from repro.core.policy import FCFS_MINUS, FRAME
+from repro.core.units import ms, us
+
+from tests.helpers import TEST_COSTS, build_mini, topic
+
+cost_strategy = st.floats(1.0, 500.0, allow_nan=False)  # microseconds
+
+
+def fuzzed_costs(proxy_us, dispatch_us, replicate_us, coordinate_us):
+    return replace(
+        TEST_COSTS,
+        proxy_per_message=us(proxy_us),
+        dispatch=us(dispatch_us),
+        replicate=us(replicate_us),
+        coordinate=us(coordinate_us),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(proxy_us=cost_strategy, dispatch_us=cost_strategy,
+       replicate_us=cost_strategy, coordinate_us=cost_strategy,
+       workers=st.integers(1, 3), message_count=st.integers(1, 8))
+def test_faultfree_frame_prunes_every_replicated_copy(
+        proxy_us, dispatch_us, replicate_us, coordinate_us, workers,
+        message_count):
+    """Whatever the interleaving, once the system drains every replicated
+    copy at the Backup is discarded — the invariant behind the paper's
+    'the Backup Buffer was empty at the time of fault recovery'."""
+    system = build_mini(
+        [topic(topic_id=0)],
+        policy=FRAME,
+        costs=fuzzed_costs(proxy_us, dispatch_us, replicate_us, coordinate_us),
+        delivery_workers=workers,
+    )
+    for seq in range(1, message_count + 1):
+        system.engine.call_after(seq * ms(5),
+                                 system.publish,
+                                 [Message(0, seq, created_at=seq * ms(5))])
+    system.engine.run(until=5.0)
+    assert system.delivered_seqs(0) == set(range(1, message_count + 1))
+    assert system.backup.backup_buffer.live_count() == 0
+    # Every message was handled exactly one way: replicated or its
+    # replication was aborted/cancelled.
+    stats = system.primary.stats
+    assert (stats.replicated + stats.replications_aborted
+            + stats.replications_cancelled) >= message_count - (
+                stats.replications_cancelled)
+    assert stats.prunes_sent == stats.replicated
+    assert system.backup.stats.prunes_applied == stats.prunes_sent
+    assert len(system.primary.message_buffer) == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(proxy_us=cost_strategy, dispatch_us=cost_strategy,
+       replicate_us=cost_strategy, workers=st.integers(1, 3),
+       crash_ms=st.integers(1, 200))
+def test_recovery_never_redispatches_discarded_copies(
+        proxy_us, dispatch_us, replicate_us, workers, crash_ms):
+    """Table 3's recovery step: a discarded copy is skipped, never
+    re-dispatched — for any crash instant and any interleaving."""
+    system = build_mini(
+        [topic(topic_id=0)],
+        policy=FRAME,
+        costs=fuzzed_costs(proxy_us, dispatch_us, replicate_us, 10.0),
+        delivery_workers=workers,
+        with_promoter=True,
+    )
+    for seq in range(1, 6):
+        system.engine.call_after(seq * ms(20),
+                                 system.publish,
+                                 [Message(0, seq, created_at=seq * ms(20))])
+    system.engine.call_after(ms(crash_ms), system.primary_host.crash)
+    system.engine.run(until=3.0)
+    backup = system.backup
+    discarded = sum(1 for entry in backup.backup_buffer.all_entries()
+                    if entry.discard)
+    # Recovery accounting: skipped == discarded copies present at
+    # promotion; every recovered copy was live.
+    assert backup.stats.recovery_skipped <= discarded
+    assert backup.stats.recovery_dispatch_jobs + backup.stats.recovery_skipped \
+        == backup.backup_buffer.total_count()
+    # No subscriber ever sees a message twice (dedup absorbs recovery
+    # and resend overlap).
+    assert len(system.delivered_seqs(0)) == len(
+        system.subscriber.stats.latency_by_seq.get(0, {}))
+
+
+@settings(max_examples=15, deadline=None)
+@given(dispatch_us=cost_strategy, replicate_us=cost_strategy,
+       workers=st.integers(1, 3))
+def test_fcfs_minus_never_prunes(dispatch_us, replicate_us, workers):
+    system = build_mini(
+        [topic(topic_id=0)],
+        policy=FCFS_MINUS,
+        costs=fuzzed_costs(10.0, dispatch_us, replicate_us, 10.0),
+        delivery_workers=workers,
+    )
+    for seq in range(1, 4):
+        system.engine.call_after(seq * ms(10),
+                                 system.publish,
+                                 [Message(0, seq, created_at=seq * ms(10))])
+    system.engine.run(until=2.0)
+    assert system.primary.stats.prunes_sent == 0
+    assert system.backup.backup_buffer.live_count() == 3

@@ -1,0 +1,145 @@
+"""Property-based tests for the core data structures (hypothesis)."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffers import BackupBuffer, RingBuffer
+from repro.core.model import Message
+from repro.core.scheduling import DISPATCH, EDFJobQueue, Job
+from repro.metrics.loss import consecutive_loss_runs, max_consecutive_losses
+from repro.sim import Engine
+
+
+# ----------------------------------------------------------------------
+# RingBuffer behaves like a bounded deque
+# ----------------------------------------------------------------------
+@given(capacity=st.integers(0, 8), seqs=st.lists(st.integers(1, 100), max_size=50))
+def test_ring_buffer_matches_bounded_deque(capacity, seqs):
+    ring = RingBuffer(capacity)
+    reference = deque(maxlen=capacity)
+    for seq in seqs:
+        message = Message(0, seq, 0.0)
+        ring.append(message)
+        if capacity:
+            reference.append(message)
+    assert [m.seq for m in ring.snapshot()] == [m.seq for m in reference]
+
+
+# ----------------------------------------------------------------------
+# BackupBuffer: model-based test against a dict-of-deques reference
+# ----------------------------------------------------------------------
+@given(
+    capacity=st.integers(1, 4),
+    operations=st.lists(
+        st.tuples(st.sampled_from(["store", "prune"]),
+                  st.integers(0, 2),        # topic
+                  st.integers(1, 12)),      # seq
+        max_size=60,
+    ),
+)
+def test_backup_buffer_matches_reference(capacity, operations):
+    buffer = BackupBuffer(capacity)
+    reference = {}  # topic -> deque of (seq, discarded flag holder)
+    flags = {}      # (topic, seq) -> [bool]
+    for op, topic, seq in operations:
+        ring = reference.setdefault(topic, deque())
+        if op == "store":
+            if (topic, seq) in flags and any(s == seq for s, _ in ring):
+                pass  # duplicate store: refresh only
+            else:
+                while len(ring) >= capacity:
+                    old_seq, _ = ring.popleft()
+                    flags.pop((topic, old_seq), None)
+                holder = [False]
+                ring.append((seq, holder))
+                flags[(topic, seq)] = holder
+            buffer.store(Message(topic, seq, 0.0), arrived_at=0.0)
+        else:
+            expected = (topic, seq) in flags
+            assert buffer.prune(topic, seq) == expected
+            if expected:
+                flags[(topic, seq)][0] = True
+    for topic, ring in reference.items():
+        got = [(e.message.seq, e.discard) for e in buffer.entries(topic)]
+        expected = [(seq, holder[0]) for seq, holder in ring]
+        assert got == expected
+    assert buffer.live_count() == sum(
+        1 for holder in flags.values() if not holder[0])
+
+
+# ----------------------------------------------------------------------
+# EDF queue: pops are sorted by (deadline, push order), cancels excluded
+# ----------------------------------------------------------------------
+@given(
+    jobs=st.lists(st.tuples(st.floats(0.0, 100.0, allow_nan=False),
+                            st.booleans()),
+                  min_size=1, max_size=40),
+)
+def test_edf_queue_pop_order_property(jobs):
+    engine = Engine()
+    queue = EDFJobQueue(engine)
+    pushed = []
+    for order, (deadline, cancel) in enumerate(jobs):
+        job = Job(DISPATCH, entry=None, deadline=deadline, cost=1e-6)
+        queue.push(job)
+        pushed.append((deadline, order, job, cancel))
+    for _, _, job, cancel in pushed:
+        if cancel:
+            queue.cancel(job)
+    live = [(deadline, order, job) for deadline, order, job, cancel in pushed
+            if not cancel]
+    expected = [job for _, _, job in sorted(live, key=lambda x: (x[0], x[1]))]
+    got = []
+
+    def consumer():
+        for _ in range(len(expected)):
+            got.append((yield queue.pop()))
+
+    engine.spawn(consumer())
+    engine.run()
+    assert got == expected
+    assert queue.drained()
+
+
+# ----------------------------------------------------------------------
+# Consecutive-loss counter vs brute force
+# ----------------------------------------------------------------------
+def brute_force_max_run(published, delivered):
+    best = 0
+    for start in range(len(published)):
+        run = 0
+        for seq in published[start:]:
+            if seq in delivered:
+                break
+            run += 1
+        best = max(best, run)
+    return best
+
+
+@given(
+    count=st.integers(0, 60),
+    delivered_mask=st.lists(st.booleans(), max_size=60),
+)
+def test_max_consecutive_losses_matches_brute_force(count, delivered_mask):
+    published = list(range(1, count + 1))
+    delivered = {seq for seq, keep in zip(published, delivered_mask) if keep}
+    assert max_consecutive_losses(published, delivered) == brute_force_max_run(
+        published, delivered)
+
+
+@given(
+    count=st.integers(0, 60),
+    delivered_mask=st.lists(st.booleans(), max_size=60),
+)
+def test_loss_runs_partition_losses(count, delivered_mask):
+    published = list(range(1, count + 1))
+    delivered = {seq for seq, keep in zip(published, delivered_mask) if keep}
+    runs = consecutive_loss_runs(published, delivered)
+    # Runs are disjoint, ordered, and cover exactly the lost messages.
+    covered = []
+    for start, length in runs:
+        covered.extend(range(start, start + length))
+    assert covered == [seq for seq in published if seq not in delivered]
+    assert all(length >= 1 for _, length in runs)

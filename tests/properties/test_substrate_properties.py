@@ -1,0 +1,204 @@
+"""Property-based tests of the simulation substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import predict_utilization
+from repro.clocks import PTP_EDGE, ClockSyncService, attach_clock
+from repro.core.config import CostModel
+from repro.core.policy import FCFS, FCFS_MINUS, FRAME, FRAME_PLUS
+from repro.net.link import UniformLatency
+from repro.net.topology import Network
+from repro.sim import Engine, Host
+from repro.workloads.spec import build_workload
+
+from tests.helpers import TEST_PARAMS
+
+
+# ----------------------------------------------------------------------
+# Network: FIFO ordering holds for any jittery link and any send pattern
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    low_us=st.integers(1, 500),
+    spread_us=st.integers(0, 5000),
+    gaps_us=st.lists(st.integers(0, 2000), min_size=1, max_size=60),
+    seed=st.integers(0, 10_000),
+)
+def test_link_never_reorders(low_us, spread_us, gaps_us, seed):
+    engine = Engine(seed=seed)
+    network = Network(engine)
+    a, b = Host(engine, "a"), Host(engine, "b")
+    network.connect(a, b, UniformLatency(low_us * 1e-6,
+                                         (low_us + spread_us) * 1e-6))
+    got = []
+    network.register(b, "b/svc", got.append)
+    t = 0.0
+    for index, gap in enumerate(gaps_us):
+        t += gap * 1e-6
+        engine.call_at(t, network.send, a, "b/svc", index)
+    engine.run()
+    assert got == list(range(len(gaps_us)))
+
+
+# ----------------------------------------------------------------------
+# Clock sync: follower error stays bounded for any drift within spec
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    drift_ppm=st.floats(-100.0, 100.0, allow_nan=False),
+    initial_offset_ms=st.floats(-50.0, 50.0, allow_nan=False),
+    horizon=st.floats(2.0, 40.0, allow_nan=False),
+    seed=st.integers(0, 10_000),
+)
+def test_sync_error_bounded_by_residual_plus_interval_drift(
+        drift_ppm, initial_offset_ms, horizon, seed):
+    engine = Engine(seed=seed)
+    master = Host(engine, "master")
+    follower = Host(engine, "follower")
+    attach_clock(master)
+    attach_clock(follower, offset=initial_offset_ms * 1e-3, drift_ppm=drift_ppm)
+    ClockSyncService(engine, master, [follower], PTP_EDGE)
+    engine.run(until=horizon)
+    worst = PTP_EDGE.error_bound + abs(drift_ppm) * 1e-6 * PTP_EDGE.interval
+    assert abs(follower.clock.error()) <= worst + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Capacity model: structural properties over arbitrary workload sizes
+# ----------------------------------------------------------------------
+workload_sizes = st.integers(0, 5000).map(lambda n: 25 + 3 * n)
+
+
+@settings(max_examples=30, deadline=None)
+@given(total=workload_sizes)
+def test_policy_demand_ordering_holds_for_any_workload(total):
+    specs = build_workload(total, scale=1.0).specs
+    costs = CostModel.calibrated(1.0)
+    demands = {}
+    for policy in (FRAME_PLUS, FRAME, FCFS_MINUS, FCFS):
+        plan = predict_utilization(specs, policy, TEST_PARAMS, costs)
+        demands[policy.name] = plan.module("primary_delivery").demand
+    assert demands["FRAME+"] <= demands["FRAME"] <= demands["FCFS"]
+    assert demands["FCFS-"] <= demands["FCFS"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(total=workload_sizes, scale_pct=st.integers(1, 100))
+def test_demand_is_scale_invariant(total, scale_pct):
+    """Scaling topics by s and costs by 1/s preserves sensor-category
+    demand exactly (the fixed categories distort only the constant term)."""
+    scale = scale_pct / 100.0
+    full = build_workload(total, scale=1.0)
+    scaled = build_workload(total, scale=scale)
+    costs_full = CostModel.calibrated(1.0)
+    costs_scaled = CostModel.calibrated(scale)
+    plan_full = predict_utilization(full.specs, FRAME, TEST_PARAMS, costs_full)
+    plan_scaled = predict_utilization(scaled.specs, FRAME, TEST_PARAMS,
+                                      costs_scaled)
+    # The scaled sensor rate is rounded to whole topics; bound the error
+    # by the contribution of one sensor category's rounding (3 topics at
+    # 10 Hz each) plus the fixed categories' inflation (410 msg/s,
+    # amplified by 1/scale on the cost side).
+    sensor_rate_full = (total - 25) / 3 * 3 * 10.0
+    rounding = 3 * 10.0 / scale * costs_full.dispatch
+    fixed_inflation = 410.0 * (1.0 / scale - 1.0) * (
+        costs_full.dispatch + costs_full.replicate + costs_full.coordinate)
+    tolerance = rounding + fixed_inflation + 1e-9
+    difference = abs(plan_scaled.module("primary_delivery").demand
+                     - plan_full.module("primary_delivery").demand)
+    assert difference <= tolerance
+
+
+@settings(max_examples=30, deadline=None)
+@given(total=workload_sizes)
+def test_demand_monotone_in_workload(total):
+    specs_small = build_workload(total, scale=1.0).specs
+    specs_big = build_workload(total + 3, scale=1.0).specs
+    costs = CostModel.calibrated(1.0)
+    for policy in (FRAME, FCFS):
+        small = predict_utilization(specs_small, policy, TEST_PARAMS, costs)
+        big = predict_utilization(specs_big, policy, TEST_PARAMS, costs)
+        for name in ("primary_proxy", "primary_delivery", "backup_proxy"):
+            assert big.module(name).demand >= small.module(name).demand
+
+
+# ----------------------------------------------------------------------
+# EDF schedulability: known theorems as properties
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    tasks=st.lists(
+        st.tuples(st.floats(1.0, 100.0, allow_nan=False),    # period
+                  st.floats(0.01, 1.0, allow_nan=False)),    # utilization share
+        min_size=1, max_size=6,
+    ),
+)
+def test_implicit_deadline_edf_iff_utilization(tasks):
+    """Liu & Layland: with D = T, EDF on one core is feasible iff U <= 1.
+    The demand-bound test must agree exactly on both sides."""
+    from repro.analysis.schedulability import SporadicTask, edf_schedulability
+
+    built = [SporadicTask(f"t{i}", period, period * u_share, period)
+             for i, (period, u_share) in enumerate(tasks)]
+    total_u = sum(task.utilization for task in built)
+    verdict = edf_schedulability(built, capacity=1.0)
+    assert verdict.feasible_necessary == (total_u <= 1.0 + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    period=st.floats(2.0, 100.0, allow_nan=False),
+    wcet_share=st.floats(0.05, 0.95, allow_nan=False),
+    deadline_share=st.floats(0.1, 1.0, allow_nan=False),
+)
+def test_single_task_feasible_iff_wcet_fits_deadline(period, wcet_share,
+                                                     deadline_share):
+    from repro.analysis.schedulability import SporadicTask, edf_schedulability
+
+    wcet = period * wcet_share
+    deadline = period * deadline_share
+    task = SporadicTask("t", period, wcet, deadline)
+    verdict = edf_schedulability([task], capacity=1.0)
+    assert verdict.feasible_necessary == (wcet <= deadline + 1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tasks=st.lists(
+        st.tuples(st.floats(1.0, 50.0, allow_nan=False),
+                  st.floats(0.05, 0.5, allow_nan=False),
+                  st.floats(0.5, 1.0, allow_nan=False)),
+        min_size=1, max_size=5,
+    ),
+)
+def test_tightening_deadlines_never_helps(tasks):
+    """Monotonicity: shrinking every relative deadline can only turn a
+    feasible set infeasible, never the reverse."""
+    from repro.analysis.schedulability import SporadicTask, edf_schedulability
+
+    loose = [SporadicTask(f"t{i}", p, p * c, p * d)
+             for i, (p, c, d) in enumerate(tasks)]
+    tight = [SporadicTask(f"t{i}", p, p * c, p * d * 0.7)
+             for i, (p, c, d) in enumerate(tasks)]
+    loose_ok = edf_schedulability(loose, capacity=1.0).feasible_necessary
+    tight_ok = edf_schedulability(tight, capacity=1.0).feasible_necessary
+    assert not (tight_ok and not loose_ok)
+
+
+# ----------------------------------------------------------------------
+# Cost model: scaling laws
+# ----------------------------------------------------------------------
+@settings(max_examples=40)
+@given(scale_pct=st.integers(1, 100), factor_pct=st.integers(1, 300))
+def test_cost_model_scaling_is_multiplicative(scale_pct, factor_pct):
+    scale = scale_pct / 100.0
+    factor = factor_pct / 100.0
+    base = CostModel.calibrated(scale)
+    scaled = base.scaled(factor)
+    assert scaled.dispatch == base.dispatch * factor
+    assert scaled.proxy_per_message == base.proxy_per_message * factor
+    assert scaled.coordinate == base.coordinate * factor
+    calibrated = CostModel.calibrated(1.0)
+    assert base.dispatch * scale == calibrated.dispatch * 1.0 or abs(
+        base.dispatch * scale - calibrated.dispatch) < 1e-15

@@ -1,0 +1,187 @@
+"""Executable versions of the paper's theorems (hypothesis + simulation).
+
+The headline property is Lemma 1: for arbitrary admissible topic
+parameters and an arbitrary crash instant, an unloaded FRAME deployment
+never lets the subscriber see more than ``Li`` consecutive losses.  Each
+example builds a miniature deployment, runs it with a crash, and checks
+the subscriber's gap structure.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import EDGE, TopicSpec
+from repro.core.timing import (
+    admission_test,
+    dispatch_deadline,
+    min_retention,
+    needs_replication,
+    replication_deadline,
+)
+from repro.core.units import ms
+
+from tests.helpers import TEST_PARAMS, build_mini
+
+
+# ----------------------------------------------------------------------
+# Analytic properties of the timing bounds
+# ----------------------------------------------------------------------
+spec_strategy = st.builds(
+    TopicSpec,
+    topic_id=st.just(0),
+    period=st.floats(ms(20), ms(500), allow_nan=False),
+    deadline=st.floats(ms(20), ms(1000), allow_nan=False),
+    loss_tolerance=st.integers(0, 5).map(float),
+    retention=st.integers(0, 5),
+    destination=st.just(EDGE),
+    category=st.just(2),
+)
+
+
+@given(spec=spec_strategy)
+def test_replication_deadline_monotone_in_retention(spec):
+    """More publisher retention never tightens the replication deadline."""
+    assert replication_deadline(spec.with_retention(spec.retention + 1),
+                                TEST_PARAMS) >= replication_deadline(spec, TEST_PARAMS)
+
+
+@given(spec=spec_strategy)
+def test_admission_monotone_in_retention(spec):
+    """If a topic is admissible at Ni, it stays admissible at Ni + 1."""
+    if admission_test(spec, TEST_PARAMS).admitted:
+        assert admission_test(spec.with_retention(spec.retention + 1),
+                              TEST_PARAMS).admitted
+
+
+@given(spec=spec_strategy)
+def test_min_retention_is_minimal_and_sufficient(spec):
+    if dispatch_deadline(spec, TEST_PARAMS) < 0:
+        return  # not fixable by retention
+    minimum = min_retention(spec, TEST_PARAMS)
+    assert admission_test(spec.with_retention(minimum), TEST_PARAMS).admitted
+    if minimum > 0:
+        assert not admission_test(spec.with_retention(minimum - 1),
+                                  TEST_PARAMS).admitted
+
+
+@given(spec=spec_strategy)
+def test_suppression_monotone_in_retention(spec):
+    """Once Proposition 1 suppresses replication, more retention keeps it
+    suppressed (the basis of the FRAME+ configuration)."""
+    if not needs_replication(spec, TEST_PARAMS):
+        assert not needs_replication(spec.with_retention(spec.retention + 1),
+                                     TEST_PARAMS)
+
+
+# ----------------------------------------------------------------------
+# Lemma 1 as an end-to-end property
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(
+    period_ms=st.sampled_from([40, 60, 100, 160]),
+    loss_tolerance=st.integers(0, 3),
+    extra_retention=st.integers(0, 2),
+    crash_offset_ms=st.integers(0, 400),
+    seed=st.integers(0, 1000),
+)
+def test_lemma1_no_more_than_li_consecutive_losses(period_ms, loss_tolerance,
+                                                   extra_retention,
+                                                   crash_offset_ms, seed):
+    """An unloaded FRAME system with an admissible topic never exceeds Li
+    consecutive losses across a Primary crash at an arbitrary instant."""
+    from tests.helpers import topic
+
+    period = ms(period_ms)
+    spec = TopicSpec(topic_id=0, period=period, deadline=4 * period,
+                     loss_tolerance=float(loss_tolerance), retention=0,
+                     destination=EDGE, category=2)
+    retention = min_retention(spec, TEST_PARAMS) + extra_retention
+    spec = spec.with_retention(retention)
+    assert admission_test(spec, TEST_PARAMS).admitted
+
+    system = build_mini([spec], with_publisher=True, with_promoter=True,
+                        seed=seed)
+    crash_at = 0.4 + ms(crash_offset_ms)
+    system.engine.call_after(crash_at, system.primary_host.crash)
+    system.engine.run(until=crash_at + 1.5)
+
+    created = system.publisher_stats.created[0]
+    # Exclude creations in the final in-flight window.
+    horizon = system.engine.now - 2 * spec.deadline - ms(60)
+    published = [index + 1 for index, t in enumerate(created) if t <= horizon]
+    delivered = system.delivered_seqs(0)
+    longest = 0
+    current = 0
+    for seq in published:
+        if seq in delivered:
+            current = 0
+        else:
+            current += 1
+            longest = max(longest, current)
+    assert longest <= loss_tolerance, (
+        f"Lemma 1 violated: {longest} consecutive losses with Li={loss_tolerance} "
+        f"(Ni={retention}, Ti={period_ms} ms, crash at {crash_at:.3f})"
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    crash_offset_ms=st.integers(0, 300),
+    seed=st.integers(0, 1000),
+)
+def test_zero_loss_topic_never_loses_messages(crash_offset_ms, seed):
+    """Li = 0 with admissible retention: zero losses across any crash."""
+    from tests.helpers import topic
+
+    spec = topic(topic_id=0, period=ms(100), deadline=ms(200), loss=0,
+                 retention=2, category=2)
+    system = build_mini([spec], with_publisher=True, with_promoter=True,
+                        seed=seed)
+    crash_at = 0.3 + ms(crash_offset_ms)
+    system.engine.call_after(crash_at, system.primary_host.crash)
+    system.engine.run(until=crash_at + 1.5)
+    created = system.publisher_stats.created[0]
+    horizon = system.engine.now - 2 * spec.deadline - ms(60)
+    published = set(index + 1 for index, t in enumerate(created) if t <= horizon)
+    missing = published - system.delivered_seqs(0)
+    assert missing == set(), f"lost messages {sorted(missing)}"
+
+
+# ----------------------------------------------------------------------
+# Lemma 2 as an end-to-end property (fault-free)
+# ----------------------------------------------------------------------
+@settings(max_examples=8, deadline=None)
+@given(
+    period_ms=st.sampled_from([50, 100, 250]),
+    seed=st.integers(0, 1000),
+)
+def test_lemma2_deadlines_met_in_unloaded_system(period_ms, seed):
+    from tests.helpers import topic
+
+    spec = topic(topic_id=0, period=ms(period_ms), deadline=ms(period_ms),
+                 loss=0, retention=2, category=2)
+    system = build_mini([spec], with_publisher=True, seed=seed)
+    system.engine.run(until=2.0)
+    latencies = system.latencies(0)
+    assert latencies, "no deliveries"
+    assert all(latency <= spec.deadline for latency in latencies.values())
+
+
+# ----------------------------------------------------------------------
+# Determinism of the whole stack
+# ----------------------------------------------------------------------
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_identical_seeds_reproduce_identical_runs(seed):
+    from tests.helpers import topic
+
+    def run_once():
+        system = build_mini([topic(topic_id=0)], with_publisher=True,
+                            with_promoter=True, seed=seed)
+        system.engine.call_after(0.7, system.primary_host.crash)
+        system.engine.run(until=2.0)
+        return (sorted(system.latencies(0).items()),
+                system.backup.stats.promotion_time,
+                system.publisher_stats.failover_at)
+
+    assert run_once() == run_once()

@@ -1,0 +1,117 @@
+"""Tests for the LocalDeployment convenience wrapper."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.deployment import LocalDeployment
+
+from tests.runtime.test_runtime import replicated_topic, suppressed_topic, wait_for
+
+
+def test_deployment_lifecycle_and_delivery():
+    async def scenario():
+        spec = replicated_topic()
+        async with LocalDeployment([spec]) as deployment:
+            subscriber = await deployment.add_subscriber()
+            publisher = await deployment.add_publisher()
+            await publisher.publish({spec.topic_id: "v1"})
+            ok = await wait_for(
+                lambda: subscriber.delivered_seqs(spec.topic_id) == {1})
+            assert ok
+            assert deployment.current_primary() is deployment.primary
+        return True
+
+    assert asyncio.run(scenario())
+
+
+def test_deployment_crash_drill():
+    async def scenario():
+        spec = replicated_topic()
+        async with LocalDeployment([spec]) as deployment:
+            subscriber = await deployment.add_subscriber()
+            publisher = await deployment.add_publisher()
+            await publisher.publish({spec.topic_id: "before"})
+            await wait_for(lambda: subscriber.delivered_seqs(spec.topic_id) == {1})
+            await deployment.crash_primary()
+            assert deployment.current_primary() is deployment.backup
+            await publisher.publish({spec.topic_id: "after"})
+            ok = await wait_for(
+                lambda: subscriber.delivered_seqs(spec.topic_id) >= {1, 2})
+            assert ok
+        return True
+
+    assert asyncio.run(scenario())
+
+
+def test_deployment_multiple_clients():
+    async def scenario():
+        rep = replicated_topic(0)
+        sup = suppressed_topic(1)
+        async with LocalDeployment([rep, sup]) as deployment:
+            sub_all = await deployment.add_subscriber()
+            sub_one = await deployment.add_subscriber([1])
+            pub_a = await deployment.add_publisher([rep])
+            pub_b = await deployment.add_publisher([sup])
+            await pub_a.publish({0: "a"})
+            await pub_b.publish({1: "b"})
+            ok = await wait_for(lambda: (
+                sub_all.delivered_seqs(0) == {1}
+                and sub_all.delivered_seqs(1) == {1}
+                and sub_one.delivered_seqs(1) == {1}))
+            assert ok
+            assert sub_one.delivered_seqs(0) == set()
+        return True
+
+    assert asyncio.run(scenario())
+
+
+def test_periodic_publishing():
+    async def scenario():
+        from repro.core.model import EDGE, TopicSpec
+
+        spec = TopicSpec(topic_id=0, period=0.05, deadline=5.0,
+                         loss_tolerance=3, retention=5, destination=EDGE,
+                         category=3)
+        async with LocalDeployment([spec]) as deployment:
+            subscriber = await deployment.add_subscriber()
+            publisher = await deployment.add_publisher()
+            publisher.start_periodic(lambda topic, seq: f"v{seq}")
+            with pytest.raises(RuntimeError, match="already started"):
+                publisher.start_periodic()
+            ok = await wait_for(
+                lambda: len(subscriber.delivered_seqs(spec.topic_id)) >= 4)
+            assert ok
+            # Payload factory threaded through.
+            first = subscriber.received[spec.topic_id]
+            assert first  # latencies recorded
+        return True
+
+    assert asyncio.run(scenario())
+
+
+def test_deployment_validation():
+    with pytest.raises(ValueError, match="at least one topic"):
+        LocalDeployment([])
+
+    async def not_started():
+        deployment = LocalDeployment([replicated_topic()])
+        with pytest.raises(RuntimeError, match="not started"):
+            await deployment.add_publisher()
+        return True
+
+    assert asyncio.run(not_started())
+
+
+def test_double_start_rejected():
+    async def scenario():
+        deployment = LocalDeployment([replicated_topic()])
+        await deployment.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                await deployment.start()
+        finally:
+            await deployment.close()
+        return True
+
+    assert asyncio.run(scenario())

@@ -1,0 +1,142 @@
+"""Parity between the simulator broker and the asyncio runtime broker.
+
+Both implementations consume the same timing theory and policy matrix, so
+their *decisions* must agree: the replication plan per topic, the FCFS
+ordering flag, and coordination behavior.  (Timing itself cannot be
+compared — one is virtual, one is wall clock.)
+"""
+
+import pytest
+
+from repro.core.broker import PRIMARY as SIM_PRIMARY
+from repro.core.broker import Broker
+from repro.core.policy import ALL_POLICIES, DISK_LOG
+from repro.runtime.broker import BrokerServer, RuntimeBrokerConfig
+
+from tests.helpers import TEST_PARAMS, build_mini, topic
+
+
+def sim_plan(specs, policy):
+    system = build_mini(specs, policy=policy)
+    return {topic_id: pseudo_dr is not None
+            for topic_id, (_, pseudo_dr) in system.primary._plan.items()}
+
+
+def runtime_plan(specs, policy):
+    config = RuntimeBrokerConfig(
+        topics={spec.topic_id: spec for spec in specs},
+        policy=policy, params=TEST_PARAMS,
+        peer_address=("127.0.0.1", 1))
+    broker = BrokerServer("127.0.0.1", 0, config, role="primary")
+    return {topic_id: pseudo_dr is not None
+            for topic_id, (_, pseudo_dr) in broker._plan.items()}
+
+
+TOPIC_SET = [
+    topic(topic_id=0, category=2),                       # needs replication
+    topic(topic_id=1, loss=3, retention=0, category=3),  # suppressed
+    topic(topic_id=2, loss=float("inf"), retention=0, category=4),
+    topic(topic_id=3, retention=5, category=2),          # suppressed by Ni
+]
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES + (DISK_LOG,),
+                         ids=lambda p: p.name)
+def test_replication_plans_agree(policy):
+    assert sim_plan(TOPIC_SET, policy) == runtime_plan(TOPIC_SET, policy)
+
+
+def test_frame_plan_content():
+    plan = sim_plan(TOPIC_SET, ALL_POLICIES[1])   # FRAME
+    assert plan == {0: True, 1: False, 2: False, 3: False}
+
+
+def test_disk_plan_disables_all_replication():
+    plan = runtime_plan(TOPIC_SET, DISK_LOG)
+    assert plan == {0: False, 1: False, 2: False, 3: False}
+
+
+def test_runtime_journals_to_disk(tmp_path):
+    """The runtime's disk strategy writes a real fsynced journal."""
+    import asyncio
+    import json
+
+    from repro.runtime.client import Publisher, Subscriber
+    from tests.runtime.test_runtime import PARAMS, wait_for
+
+    async def scenario():
+        spec = topic(topic_id=0)
+        journal = tmp_path / "broker.journal"
+        broker = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={0: spec}, policy=DISK_LOG, params=PARAMS,
+            journal_path=str(journal)), role="primary")
+        await broker.start()
+        subscriber = Subscriber([0], broker.address, broker.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], broker.address, broker.address)
+        await publisher.start()
+        await publisher.publish({0: "persisted"})
+        await wait_for(lambda: subscriber.delivered_seqs(0) == {1})
+        await publisher.close()
+        await subscriber.close()
+        await broker.close()
+        lines = journal.read_text().strip().splitlines()
+        return [json.loads(line) for line in lines]
+
+    records = asyncio.run(scenario())
+    assert len(records) == 1
+    assert records[0]["topic"] == 0
+    assert records[0]["payload"] == "persisted"
+
+
+def test_runtime_journal_recovery_after_restart(tmp_path):
+    """Crash-restart: a fresh broker replays the journal and re-delivers
+    every persisted message to reconnecting subscribers, exactly once."""
+    import asyncio
+
+    from repro.runtime.client import Publisher, Subscriber
+    from tests.runtime.test_runtime import PARAMS, wait_for
+
+    async def scenario():
+        spec = topic(topic_id=0)
+        journal = tmp_path / "broker.journal"
+
+        def make_broker(recover):
+            return BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+                topics={0: spec}, policy=DISK_LOG, params=PARAMS,
+                journal_path=str(journal), recover_journal=recover,
+                journal_recovery_delay=0.3), role="primary")
+
+        first = make_broker(recover=False)
+        await first.start()
+        publisher = Publisher([spec], first.address, first.address)
+        await publisher.start()
+        subscriber1 = Subscriber([0], first.address, first.address)
+        await subscriber1.start()
+        await asyncio.sleep(0.2)
+        await publisher.publish({0: "m1"})
+        await publisher.publish({0: "m2"})
+        await wait_for(lambda: subscriber1.delivered_seqs(0) == {1, 2})
+        await publisher.close()
+        await subscriber1.close()
+        await first.close()          # "crash" (journal survives on disk)
+
+        second = make_broker(recover=True)
+        await second.start()
+        subscriber2 = Subscriber([0], second.address, second.address)
+        await subscriber2.start()
+        ok = await wait_for(lambda: subscriber2.delivered_seqs(0) == {1, 2},
+                            timeout=8.0)
+        recovered = second.recovery_dispatched
+        await subscriber2.close()
+        await second.close()
+        # The replay must not have re-journaled the replayed messages.
+        journal_lines = [line for line in journal.read_text().splitlines()
+                         if line.strip()]
+        return ok, recovered, len(journal_lines)
+
+    ok, recovered, journal_lines = asyncio.run(scenario())
+    assert ok, "journaled messages were not re-delivered after restart"
+    assert recovered == 2
+    assert journal_lines == 2

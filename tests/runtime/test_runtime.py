@@ -1,0 +1,227 @@
+"""End-to-end tests of the asyncio runtime on loopback sockets.
+
+Timing assertions are deliberately loose (this runtime is best-effort;
+see the package docstring) — the tests verify *functional* behavior:
+delivery, selective replication, coordination, fail-over, recovery.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.model import EDGE, Message, TopicSpec
+from repro.core.policy import FCFS_MINUS, FRAME
+from repro.core.timing import DeadlineParameters
+from repro.core.units import ms
+from repro.runtime import BrokerServer, Publisher, RuntimeBrokerConfig, Subscriber
+from repro.runtime.broker import BACKUP, PRIMARY
+from repro.runtime.wire import decode_message, encode_message
+
+#: Generous parameters suited to wall-clock CI machines.
+PARAMS = DeadlineParameters(
+    delta_pb=ms(5), delta_bb=ms(5), delta_bs_edge=ms(10),
+    delta_bs_cloud=ms(50), failover_time=2.0,
+)
+
+
+def replicated_topic(topic_id=0):
+    """Needs replication: Dr(=1*0.5-...-2 <0? choose period big) ..."""
+    # (Ni + Li) * Ti = 1 * 1.0 s; x = 2 s => Dr < 0 is inadmissible, so
+    # pick Ti large enough: Ni=1, Ti=3 s, Dr ~ 0.99 s < Dd? Di=5 s gives
+    # Dd ~ 4.99 > Dr => replication needed.
+    return TopicSpec(topic_id=topic_id, period=3.0, deadline=5.0,
+                     loss_tolerance=0, retention=1, destination=EDGE,
+                     category=2)
+
+
+def suppressed_topic(topic_id=1):
+    """Proposition 1 suppresses: huge retention makes Dr >> Dd."""
+    return TopicSpec(topic_id=topic_id, period=3.0, deadline=5.0,
+                     loss_tolerance=0, retention=10, destination=EDGE,
+                     category=3)
+
+
+async def start_pair(topics, policy=FRAME):
+    config_topics = {spec.topic_id: spec for spec in topics}
+    backup = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+        topics=config_topics, policy=policy, params=PARAMS,
+        poll_interval=0.05, reply_timeout=0.2, miss_threshold=3,
+    ), role=BACKUP, name="B2")
+    await backup.start()
+    primary = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+        topics=config_topics, policy=policy, params=PARAMS,
+        peer_address=backup.address,
+    ), role=PRIMARY, name="B1")
+    await primary.start()
+    backup.config.watch_address = primary.address
+    backup._tasks.append(asyncio.create_task(backup._watch_primary()))
+    await asyncio.sleep(0.1)   # let the peer link come up
+    return primary, backup
+
+
+async def wait_for(predicate, timeout=5.0, interval=0.02):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while asyncio.get_event_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return False
+
+
+# ----------------------------------------------------------------------
+def test_wire_message_roundtrip():
+    message = Message(3, 7, 123.5, data="hello")
+    decoded = decode_message(encode_message(message))
+    assert decoded.key() == message.key()
+    assert decoded.created_at == message.created_at
+    assert decoded.data == "hello"
+
+
+def test_publish_deliver_roundtrip():
+    async def scenario():
+        spec = replicated_topic()
+        primary, backup = await start_pair([spec])
+        subscriber = Subscriber([spec.topic_id], primary.address, backup.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], primary.address, backup.address)
+        await publisher.start()
+        await publisher.publish({spec.topic_id: "m1"})
+        await publisher.publish({spec.topic_id: "m2"})
+        ok = await wait_for(lambda: subscriber.delivered_seqs(spec.topic_id) == {1, 2})
+        await publisher.close()
+        await subscriber.close()
+        await primary.close()
+        await backup.close()
+        assert ok, "messages not delivered"
+
+    asyncio.run(scenario())
+
+
+def test_selective_replication_in_runtime():
+    async def scenario():
+        rep = replicated_topic(0)
+        sup = suppressed_topic(1)
+        primary, backup = await start_pair([rep, sup])
+        publisher = Publisher([rep, sup], primary.address, backup.address)
+        await publisher.start()
+        await publisher.publish({0: "a", 1: "b"})
+        await wait_for(lambda: primary.dispatched >= 1)
+        await asyncio.sleep(0.3)
+        replicated = backup.backup_buffer.get(0, 1)
+        suppressed = backup.backup_buffer.get(1, 1)
+        await publisher.close()
+        await primary.close()
+        await backup.close()
+        assert replicated is not None
+        assert suppressed is None
+
+    asyncio.run(scenario())
+
+
+def test_coordination_prunes_backup_copy():
+    async def scenario():
+        spec = replicated_topic()
+        primary, backup = await start_pair([spec])
+        subscriber = Subscriber([spec.topic_id], primary.address, backup.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], primary.address, backup.address)
+        await publisher.start()
+        await publisher.publish({spec.topic_id: "x"})
+        ok = await wait_for(lambda: (
+            backup.backup_buffer.get(spec.topic_id, 1) is not None
+            and backup.backup_buffer.get(spec.topic_id, 1).discard))
+        await publisher.close()
+        await subscriber.close()
+        await primary.close()
+        await backup.close()
+        assert ok, "backup copy was not pruned after dispatch"
+
+    asyncio.run(scenario())
+
+
+def test_no_coordination_leaves_copy_live():
+    async def scenario():
+        spec = replicated_topic()
+        primary, backup = await start_pair([spec], policy=FCFS_MINUS)
+        subscriber = Subscriber([spec.topic_id], primary.address, backup.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], primary.address, backup.address)
+        await publisher.start()
+        await publisher.publish({spec.topic_id: "x"})
+        await wait_for(lambda: backup.backup_buffer.get(spec.topic_id, 1) is not None)
+        await asyncio.sleep(0.2)
+        entry = backup.backup_buffer.get(spec.topic_id, 1)
+        await publisher.close()
+        await subscriber.close()
+        await primary.close()
+        await backup.close()
+        assert entry is not None and not entry.discard
+
+    asyncio.run(scenario())
+
+
+def test_failover_and_recovery_deliver_all_messages():
+    async def scenario():
+        spec = replicated_topic()
+        primary, backup = await start_pair([spec])
+        subscriber = Subscriber([spec.topic_id], primary.address, backup.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], primary.address, backup.address,
+                              poll_interval=0.05, reply_timeout=0.2,
+                              miss_threshold=3)
+        await publisher.start()
+        await publisher.publish({spec.topic_id: "before-1"})
+        await publisher.publish({spec.topic_id: "before-2"})
+        await wait_for(lambda: subscriber.delivered_seqs(spec.topic_id) == {1, 2})
+
+        await primary.close()   # crash the primary
+        await asyncio.wait_for(backup.promoted.wait(), timeout=5.0)
+        await asyncio.wait_for(publisher.failed_over.wait(), timeout=5.0)
+
+        await publisher.publish({spec.topic_id: "after-1"})
+        ok = await wait_for(lambda: subscriber.delivered_seqs(spec.topic_id)
+                            >= {1, 2, 3})
+        duplicates_ok = subscriber.duplicates >= 0
+        await publisher.close()
+        await subscriber.close()
+        await backup.close()
+        assert ok, "post-failover message not delivered"
+        assert duplicates_ok
+
+    asyncio.run(scenario())
+
+
+def test_stats_frame_roundtrip():
+    async def scenario():
+        spec = replicated_topic()
+        primary, backup = await start_pair([spec])
+        subscriber = Subscriber([spec.topic_id], primary.address, backup.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], primary.address, backup.address)
+        await publisher.start()
+        await publisher.publish({spec.topic_id: "x"})
+        await wait_for(lambda: primary.dispatched >= 1)
+        from repro.runtime.client import fetch_stats
+        stats = await fetch_stats(primary.address)
+        await publisher.close()
+        await subscriber.close()
+        await primary.close()
+        await backup.close()
+        assert stats["role"] == "primary"
+        assert stats["dispatched"] >= 1
+        assert stats["topics"] == 1
+
+    asyncio.run(scenario())
+
+
+def test_publisher_validates_topics():
+    with pytest.raises(ValueError):
+        Publisher([], ("127.0.0.1", 1), ("127.0.0.1", 2))
+    publisher = Publisher([replicated_topic()], ("127.0.0.1", 1), ("127.0.0.1", 2))
+    with pytest.raises(KeyError):
+        asyncio.run(publisher.publish({99: "x"}))

@@ -1,0 +1,153 @@
+"""Wire-protocol robustness tests (framing, limits, malformed input)."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.core.model import Message
+from repro.runtime.wire import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+
+
+class FakeWriter:
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        pass
+
+
+def roundtrip(frame):
+    async def scenario():
+        writer = FakeWriter()
+        await write_frame(writer, frame)
+        data = b"".join(writer.chunks)
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(scenario())
+
+
+def test_frame_roundtrip():
+    frame = {"type": "publish", "messages": [], "resend": False}
+    assert roundtrip(frame) == frame
+
+
+def test_unicode_payload_roundtrip():
+    frame = {"type": "deliver", "note": "überspannung ≤ 3σ"}
+    assert roundtrip(frame) == frame
+
+
+def test_eof_returns_none():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    assert asyncio.run(scenario()) is None
+
+
+def test_truncated_frame_returns_none():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack(">I", 100) + b"short")
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    assert asyncio.run(scenario()) is None
+
+
+def test_oversized_header_rejected():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    with pytest.raises(ProtocolError, match="exceeds limit"):
+        asyncio.run(scenario())
+
+
+def test_oversized_outgoing_frame_rejected():
+    async def scenario():
+        writer = FakeWriter()
+        await write_frame(writer, {"type": "x", "blob": "a" * (MAX_FRAME_BYTES + 1)})
+
+    with pytest.raises(ProtocolError, match="exceeds limit"):
+        asyncio.run(scenario())
+
+
+def test_non_json_frame_rejected():
+    async def scenario():
+        payload = b"\xff\xfe not json"
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack(">I", len(payload)) + payload)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    with pytest.raises(ProtocolError, match="undecodable"):
+        asyncio.run(scenario())
+
+
+def test_frame_without_type_rejected():
+    async def scenario():
+        payload = b'{"no_type": 1}'
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack(">I", len(payload)) + payload)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    with pytest.raises(ProtocolError, match="without type"):
+        asyncio.run(scenario())
+
+
+def test_non_object_frame_rejected():
+    async def scenario():
+        payload = b"[1, 2, 3]"
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack(">I", len(payload)) + payload)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    with pytest.raises(ProtocolError, match="without type"):
+        asyncio.run(scenario())
+
+
+def test_decode_message_validation():
+    good = encode_message(Message(1, 2, 3.0, data="x"))
+    assert decode_message(good).key() == (1, 2)
+    with pytest.raises(ProtocolError, match="bad message"):
+        decode_message({"topic": 1})                       # missing fields
+    with pytest.raises(ProtocolError, match="bad message"):
+        decode_message({"topic": "a", "seq": 1, "created_at": 0.0})
+
+
+def test_back_to_back_frames():
+    async def scenario():
+        writer = FakeWriter()
+        await write_frame(writer, {"type": "a"})
+        await write_frame(writer, {"type": "b"})
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"".join(writer.chunks))
+        reader.feed_eof()
+        first = await read_frame(reader)
+        second = await read_frame(reader)
+        third = await read_frame(reader)
+        return first, second, third
+
+    first, second, third = asyncio.run(scenario())
+    assert first == {"type": "a"}
+    assert second == {"type": "b"}
+    assert third is None

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.sim import Engine
+
+
+def test_clock_starts_at_zero():
+    engine = Engine()
+    assert engine.now == 0.0
+
+
+def test_call_after_runs_in_time_order():
+    engine = Engine()
+    seen = []
+    engine.call_after(0.3, seen.append, "c")
+    engine.call_after(0.1, seen.append, "a")
+    engine.call_after(0.2, seen.append, "b")
+    engine.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_run_in_insertion_order():
+    engine = Engine()
+    seen = []
+    for tag in range(5):
+        engine.call_at(1.0, seen.append, tag)
+    engine.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_now_advances_to_event_time():
+    engine = Engine()
+    times = []
+    engine.call_after(0.5, lambda: times.append(engine.now))
+    engine.call_after(1.5, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [0.5, 1.5]
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    seen = []
+    engine.call_after(1.0, seen.append, "early")
+    engine.call_after(5.0, seen.append, "late")
+    engine.run(until=2.0)
+    assert seen == ["early"]
+    assert engine.now == 2.0
+    engine.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    engine = Engine()
+    engine.run(until=7.5)
+    assert engine.now == 7.5
+
+
+def test_cancelled_call_does_not_run():
+    engine = Engine()
+    seen = []
+    handle = engine.call_after(1.0, seen.append, "x")
+    handle.cancel()
+    engine.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    handle = engine.call_after(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    engine.run()
+
+
+def test_scheduling_in_the_past_raises():
+    engine = Engine()
+    engine.call_after(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.call_after(-0.1, lambda: None)
+
+
+def test_call_soon_runs_at_current_time():
+    engine = Engine()
+    stamps = []
+
+    def outer():
+        engine.call_soon(lambda: stamps.append(engine.now))
+
+    engine.call_after(2.0, outer)
+    engine.run()
+    assert stamps == [2.0]
+
+
+def test_events_scheduled_during_run_are_executed():
+    engine = Engine()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            engine.call_after(1.0, chain, n + 1)
+
+    engine.call_soon(chain, 0)
+    engine.run()
+    assert seen == [0, 1, 2, 3]
+    assert engine.now == 3.0
+
+
+def test_step_executes_one_event():
+    engine = Engine()
+    seen = []
+    engine.call_after(1.0, seen.append, 1)
+    engine.call_after(2.0, seen.append, 2)
+    assert engine.step()
+    assert seen == [1]
+    assert engine.step()
+    assert seen == [1, 2]
+    assert not engine.step()
+
+
+def test_pending_events_excludes_cancelled():
+    engine = Engine()
+    engine.call_after(1.0, lambda: None)
+    handle = engine.call_after(2.0, lambda: None)
+    handle.cancel()
+    assert engine.pending_events() == 1
+
+
+def test_peek_time_skips_cancelled_head():
+    engine = Engine()
+    first = engine.call_after(1.0, lambda: None)
+    engine.call_after(2.0, lambda: None)
+    first.cancel()
+    assert engine.peek_time() == 2.0
+
+
+def test_peek_time_none_when_drained():
+    engine = Engine()
+    assert engine.peek_time() is None
+
+
+def test_run_returns_stop_time():
+    engine = Engine()
+    engine.call_after(1.0, lambda: None)
+    assert engine.run(until=4.0) == 4.0
+
+
+def test_run_without_horizon_stops_at_last_event():
+    engine = Engine()
+    engine.call_after(1.25, lambda: None)
+    assert engine.run() == 1.25
+
+
+def test_reentrant_run_is_rejected():
+    engine = Engine()
+
+    def recurse():
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    engine.call_soon(recurse)
+    engine.run()

@@ -1,0 +1,170 @@
+"""Unit tests for hosts, RNG streams, and measurement instruments."""
+
+import pytest
+
+from repro.sim import Counter, Engine, Host, TimeSeries, Timeout, UtilizationMeter, WindowAccumulator
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+# ----------------------------------------------------------------------
+# Host / crash semantics
+# ----------------------------------------------------------------------
+def test_crash_kills_all_host_processes():
+    engine = Engine()
+    host = Host(engine, "broker-1")
+    ran = []
+
+    def proc(tag):
+        yield Timeout(10.0)
+        ran.append(tag)
+
+    for tag in range(3):
+        engine.spawn(proc(tag), host=host)
+    engine.call_after(1.0, host.crash)
+    engine.run()
+    assert ran == []
+    assert not host.alive
+    assert host.crash_time == 1.0
+
+
+def test_crash_does_not_affect_other_hosts():
+    engine = Engine()
+    victim = Host(engine, "primary")
+    bystander = Host(engine, "backup")
+    ran = []
+
+    def proc(tag):
+        yield Timeout(5.0)
+        ran.append(tag)
+
+    engine.spawn(proc("victim"), host=victim)
+    engine.spawn(proc("bystander"), host=bystander)
+    engine.call_after(1.0, victim.crash)
+    engine.run()
+    assert ran == ["bystander"]
+
+
+def test_crash_is_idempotent():
+    engine = Engine()
+    host = Host(engine, "h")
+    host.crash()
+    first_time = host.crash_time
+    host.crash()
+    assert host.crash_time == first_time
+
+
+def test_finished_process_detaches_from_host():
+    engine = Engine()
+    host = Host(engine, "h")
+
+    def proc():
+        yield Timeout(1.0)
+
+    engine.spawn(proc(), host=host)
+    engine.run()
+    assert host.processes == []
+
+
+def test_host_now_without_clock_is_engine_time():
+    engine = Engine()
+    host = Host(engine, "h")
+    engine.call_after(2.0, lambda: None)
+    engine.run()
+    assert host.now() == 2.0
+
+
+# ----------------------------------------------------------------------
+# RNG registry
+# ----------------------------------------------------------------------
+def test_same_seed_same_stream_is_reproducible():
+    a = RngRegistry(42).stream("pub.1")
+    b = RngRegistry(42).stream("pub.1")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_streams_are_independent_of_creation_order():
+    reg1 = RngRegistry(42)
+    first = reg1.stream("a")
+    _ = reg1.stream("b")
+    draws_order1 = [first.random() for _ in range(3)]
+
+    reg2 = RngRegistry(42)
+    _ = reg2.stream("b")
+    second = reg2.stream("a")
+    draws_order2 = [second.random() for _ in range(3)]
+    assert draws_order1 == draws_order2
+
+
+def test_different_seeds_differ():
+    assert derive_seed(1, "x") != derive_seed(2, "x")
+    assert derive_seed(1, "x") != derive_seed(1, "y")
+
+
+def test_stream_is_cached():
+    reg = RngRegistry(0)
+    assert reg.stream("s") is reg.stream("s")
+    assert "s" in reg
+    assert len(reg) == 1
+
+
+def test_engine_rng_uses_master_seed():
+    a = Engine(seed=7).rng("link")
+    b = Engine(seed=7).rng("link")
+    assert a.random() == b.random()
+
+
+# ----------------------------------------------------------------------
+# Monitors
+# ----------------------------------------------------------------------
+def test_time_series_window():
+    series = TimeSeries("lat")
+    for t in range(5):
+        series.record(float(t), t * 10.0)
+    windowed = series.window(1.0, 4.0)
+    assert windowed.times == [1.0, 2.0, 3.0]
+    assert windowed.values == [10.0, 20.0, 30.0]
+    assert windowed.min() == 10.0
+    assert windowed.max() == 30.0
+    assert windowed.mean() == 20.0
+
+
+def test_counter_window():
+    counter = Counter("msgs")
+    counter.set_window(10.0, 20.0)
+    counter.increment(5.0)
+    counter.increment(15.0)
+    counter.increment(25.0)
+    assert counter.total == 3
+    assert counter.in_window == 1
+
+
+def test_utilization_meter_clips_to_window():
+    meter = UtilizationMeter("delivery", capacity=2.0)
+    meter.set_window(10.0, 20.0)
+    meter.add_busy(8.0, 12.0)   # 2 s inside
+    meter.add_busy(15.0, 16.0)  # 1 s inside
+    meter.add_busy(19.0, 25.0)  # 1 s inside
+    meter.add_busy(30.0, 31.0)  # outside
+    assert meter.busy == pytest.approx(4.0)
+    assert meter.utilization() == pytest.approx(4.0 / (10.0 * 2.0))
+
+
+def test_utilization_meter_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        UtilizationMeter("m", capacity=0.0)
+
+
+def test_utilization_requires_finite_window():
+    meter = UtilizationMeter("m")
+    with pytest.raises(ValueError):
+        meter.utilization()
+
+
+def test_window_accumulator():
+    acc = WindowAccumulator("lat")
+    acc.set_window(0.0, 10.0)
+    acc.add(1.0, 0.5)
+    acc.add(11.0, 0.9)
+    acc.extend(2.0, [1.0, 2.0])
+    assert acc.values == [0.5, 1.0, 2.0]
+    assert len(acc) == 3

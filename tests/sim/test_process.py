@@ -1,0 +1,356 @@
+"""Unit tests for processes and synchronization primitives."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, Notify, ProcessKilled, Queue, Signal, Timeout
+
+
+def test_process_runs_and_returns_value():
+    engine = Engine()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    p = engine.spawn(proc())
+    engine.run()
+    assert not p.alive
+    assert p.result() == 42
+
+
+def test_timeout_advances_local_time():
+    engine = Engine()
+    stamps = []
+
+    def proc():
+        stamps.append(engine.now)
+        yield Timeout(0.5)
+        stamps.append(engine.now)
+        yield Timeout(0.25)
+        stamps.append(engine.now)
+
+    engine.spawn(proc())
+    engine.run()
+    assert stamps == [0.0, 0.5, 0.75]
+
+
+def test_timeout_carries_value():
+    engine = Engine()
+    got = []
+
+    def proc():
+        got.append((yield Timeout(1.0, "payload")))
+
+    engine.spawn(proc())
+    engine.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_raises():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_signal_wakes_waiter_with_value():
+    engine = Engine()
+    got = []
+    sig = Signal(engine)
+
+    def waiter():
+        got.append((yield sig))
+
+    engine.spawn(waiter())
+    engine.call_after(2.0, sig.fire, "hello")
+    engine.run()
+    assert got == ["hello"]
+    assert engine.now == 2.0
+
+
+def test_signal_fired_before_wait_resumes_immediately():
+    engine = Engine()
+    got = []
+    sig = Signal(engine)
+    sig.fire(7)
+
+    def waiter():
+        got.append((yield sig))
+
+    engine.spawn(waiter())
+    engine.run()
+    assert got == [7]
+
+
+def test_signal_double_fire_raises():
+    engine = Engine()
+    sig = Signal(engine)
+    sig.fire()
+    with pytest.raises(RuntimeError):
+        sig.fire()
+
+
+def test_signal_wakes_multiple_waiters():
+    engine = Engine()
+    got = []
+    sig = Signal(engine)
+
+    def waiter(tag):
+        value = yield sig
+        got.append((tag, value))
+
+    for tag in range(3):
+        engine.spawn(waiter(tag))
+    engine.call_after(1.0, sig.fire, "v")
+    engine.run()
+    assert sorted(got) == [(0, "v"), (1, "v"), (2, "v")]
+
+
+def test_notify_wakes_only_current_waiters():
+    engine = Engine()
+    got = []
+    bell = Notify(engine)
+
+    def waiter():
+        got.append((yield bell))
+        got.append((yield bell))
+
+    engine.spawn(waiter())
+    engine.call_after(1.0, bell.notify, "first")
+    engine.call_after(2.0, bell.notify, "second")
+    engine.run()
+    assert got == ["first", "second"]
+
+
+def test_queue_get_blocks_until_put():
+    engine = Engine()
+    got = []
+    queue = Queue(engine)
+
+    def consumer():
+        got.append((yield queue.get()))
+
+    engine.spawn(consumer())
+    engine.call_after(3.0, queue.put, "item")
+    engine.run()
+    assert got == ["item"]
+    assert engine.now == 3.0
+
+
+def test_queue_preserves_fifo_order():
+    engine = Engine()
+    got = []
+    queue = Queue(engine)
+    for item in ("a", "b", "c"):
+        queue.put(item)
+
+    def consumer():
+        for _ in range(3):
+            got.append((yield queue.get()))
+
+    engine.spawn(consumer())
+    engine.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_queue_serves_getters_in_arrival_order():
+    engine = Engine()
+    got = []
+    queue = Queue(engine)
+
+    def consumer(tag):
+        got.append((tag, (yield queue.get())))
+
+    engine.spawn(consumer("first"))
+    engine.spawn(consumer("second"))
+    engine.call_after(1.0, queue.put, "x")
+    engine.call_after(2.0, queue.put, "y")
+    engine.run()
+    assert got == [("first", "x"), ("second", "y")]
+
+
+def test_queue_try_get():
+    engine = Engine()
+    queue = Queue(engine)
+    assert queue.try_get() == (False, None)
+    queue.put(5)
+    assert queue.try_get() == (True, 5)
+    assert len(queue) == 0
+
+
+def test_queue_skips_dead_getters():
+    engine = Engine()
+    got = []
+    queue = Queue(engine)
+
+    def doomed():
+        yield queue.get()
+        got.append("doomed ran")
+
+    def survivor():
+        got.append((yield queue.get()))
+
+    victim = engine.spawn(doomed())
+    engine.spawn(survivor())
+    engine.call_after(1.0, victim.kill)
+    engine.call_after(2.0, queue.put, "item")
+    engine.run()
+    assert got == ["item"]
+
+
+def test_kill_cancels_pending_timer():
+    engine = Engine()
+    got = []
+
+    def proc():
+        yield Timeout(10.0)
+        got.append("should not run")
+
+    p = engine.spawn(proc())
+    engine.call_after(1.0, p.kill)
+    engine.run()
+    assert got == []
+    assert p.killed
+    assert engine.now == 1.0  # the 10 s timer was cancelled, not awaited
+
+
+def test_killed_process_result_raises():
+    engine = Engine()
+
+    def proc():
+        yield Timeout(10.0)
+
+    p = engine.spawn(proc())
+    engine.call_after(1.0, p.kill)
+    engine.run()
+    with pytest.raises(ProcessKilled):
+        p.result()
+
+
+def test_result_of_running_process_raises():
+    engine = Engine()
+
+    def proc():
+        yield Timeout(10.0)
+
+    p = engine.spawn(proc())
+    with pytest.raises(RuntimeError):
+        p.result()
+
+
+def test_kill_is_idempotent():
+    engine = Engine()
+
+    def proc():
+        yield Timeout(10.0)
+
+    p = engine.spawn(proc())
+    engine.call_after(1.0, p.kill)
+    engine.call_after(2.0, p.kill)
+    engine.run()
+    assert p.killed
+
+
+def test_kill_runs_finally_blocks():
+    engine = Engine()
+    cleaned = []
+
+    def proc():
+        try:
+            yield Timeout(10.0)
+        finally:
+            cleaned.append(True)
+
+    p = engine.spawn(proc())
+    engine.call_after(1.0, p.kill)
+    engine.run()
+    assert cleaned == [True]
+
+
+def test_done_signal_fires_on_completion():
+    engine = Engine()
+    got = []
+
+    def worker():
+        yield Timeout(1.0)
+        return "done-value"
+
+    def joiner(worker_proc):
+        got.append((yield worker_proc.done))
+
+    w = engine.spawn(worker())
+    engine.spawn(joiner(w))
+    engine.run()
+    assert got == ["done-value"]
+
+
+def test_yielding_non_waitable_raises():
+    engine = Engine()
+
+    def bad():
+        yield 42
+
+    engine.spawn(bad())
+    with pytest.raises(TypeError):
+        engine.run()
+
+
+def test_anyof_timeout_wins():
+    engine = Engine()
+    got = []
+    sig = Signal(engine)
+
+    def proc():
+        got.append((yield AnyOf(engine, [sig, Timeout(1.0, "timed-out")])))
+
+    engine.spawn(proc())
+    engine.call_after(5.0, sig.fire, "late")
+    engine.run()
+    assert got == [(1, "timed-out")]
+
+
+def test_anyof_signal_wins():
+    engine = Engine()
+    got = []
+    sig = Signal(engine)
+
+    def proc():
+        got.append((yield AnyOf(engine, [sig, Timeout(10.0)])))
+
+    engine.spawn(proc())
+    engine.call_after(1.0, sig.fire, "fast")
+    engine.run()
+    assert got == [(0, "fast")]
+
+
+def test_anyof_empty_raises():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        AnyOf(engine, [])
+
+
+def test_allof_collects_all_values():
+    engine = Engine()
+    got = []
+    a = Signal(engine)
+    b = Signal(engine)
+
+    def proc():
+        got.append((yield AllOf(engine, [a, b, Timeout(1.0, "t")])))
+
+    engine.spawn(proc())
+    engine.call_after(2.0, a.fire, "a")
+    engine.call_after(3.0, b.fire, "b")
+    engine.run()
+    assert got == [["a", "b", "t"]]
+    assert engine.now == 3.0
+
+
+def test_process_exception_propagates():
+    engine = Engine()
+
+    def bad():
+        yield Timeout(1.0)
+        raise ValueError("boom")
+
+    engine.spawn(bad())
+    with pytest.raises(ValueError, match="boom"):
+        engine.run()

@@ -1,0 +1,96 @@
+"""Tests for the structured event tracer."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.sim.trace import Tracer, trace
+
+from tests.helpers import build_mini, topic
+from repro.core.model import Message
+
+
+def test_trace_is_noop_without_tracer():
+    engine = Engine()
+    trace(engine, "anything", "subject")   # must not raise
+
+
+def test_tracer_records_with_timestamps():
+    engine = Engine()
+    tracer = Tracer.install(engine)
+    engine.call_after(1.5, trace, engine, "tick", "clock", 42)
+    engine.run()
+    assert len(tracer) == 1
+    record = next(iter(tracer.records))
+    assert record.time == 1.5
+    assert record.kind == "tick"
+    assert record.detail == 42
+
+
+def test_tracer_query_filters():
+    engine = Engine()
+    tracer = Tracer.install(engine)
+    tracer.record("a", "x")
+    tracer.record("b", "x")
+    tracer.record("a", "y")
+    assert len(list(tracer.query(kind="a"))) == 2
+    assert len(list(tracer.query(subject="x"))) == 2
+    assert len(list(tracer.query(kind="a", subject="y"))) == 1
+
+
+def test_tracer_bounded_capacity():
+    engine = Engine()
+    tracer = Tracer.install(engine, capacity=3)
+    for index in range(5):
+        tracer.record("k", str(index))
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert [record.subject for record in tracer.records] == ["2", "3", "4"]
+
+
+def test_tracer_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(Engine(), capacity=0)
+
+
+def test_uninstall_stops_recording():
+    engine = Engine()
+    tracer = Tracer.install(engine)
+    trace(engine, "k", "s")
+    Tracer.uninstall(engine)
+    trace(engine, "k", "s")
+    assert len(tracer) == 1
+    Tracer.uninstall(engine)   # idempotent
+
+
+def test_broker_emits_trace_points():
+    system = build_mini([topic(topic_id=0)])
+    tracer = Tracer.install(system.engine)
+    system.publish([Message(0, 1, created_at=0.0)])
+    system.engine.run(until=0.1)
+    kinds = {record.kind for record in tracer.records}
+    assert "dispatch" in kinds
+    assert "replicate" in kinds
+    dispatches = list(tracer.query(kind="dispatch"))
+    assert dispatches[0].detail == (0, 1)
+
+
+def test_traces_are_deterministic_across_runs():
+    def run_once():
+        system = build_mini([topic(topic_id=0)], with_publisher=True,
+                            with_promoter=True, seed=21)
+        tracer = Tracer.install(system.engine)
+        system.engine.call_after(0.4, system.primary_host.crash)
+        system.engine.run(until=1.0)
+        return tracer.as_lines()
+
+    assert run_once() == run_once()
+
+
+def test_as_lines_format():
+    engine = Engine()
+    tracer = Tracer.install(engine)
+    tracer.record("dispatch", "B1", (0, 1))
+    line = tracer.as_lines()[0]
+    assert "dispatch" in line
+    assert "B1" in line
+    assert "(0, 1)" in line

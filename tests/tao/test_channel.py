@@ -1,0 +1,140 @@
+"""Tests for the TAO-style event-channel facade."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.model import EDGE, TopicSpec
+from repro.core.units import ms
+from repro.net.topology import Network
+from repro.sim import Engine, Host
+from repro.tao import Event, EventChannel
+
+from tests.helpers import TEST_COSTS, TEST_PARAMS, topic
+
+
+def build_channel(specs):
+    engine = Engine(seed=3)
+    network = Network(engine)
+    supplier_host = Host(engine, "supplier")
+    consumer_host = Host(engine, "consumer")
+    primary_host = Host(engine, "primary")
+    backup_host = Host(engine, "backup")
+    network.connect(supplier_host, primary_host, ms(0.25))
+    network.connect(supplier_host, backup_host, ms(0.25))
+    network.connect(primary_host, backup_host, ms(0.05))
+    network.connect(primary_host, consumer_host, ms(0.25))
+    network.connect(backup_host, consumer_host, ms(0.25))
+    config = SystemConfig.from_specs(specs, params=TEST_PARAMS, costs=TEST_COSTS)
+    channel = EventChannel(engine, network, primary_host, backup_host, config)
+    return engine, channel, supplier_host, consumer_host
+
+
+def test_push_event_reaches_connected_consumer():
+    engine, channel, sup_host, con_host = build_channel([topic(topic_id=7)])
+    got = []
+    consumer = channel.obtain_push_supplier(con_host)
+    consumer.connect_push_consumer(got.append, type_ids=[7])
+    supplier = channel.obtain_push_consumer(sup_host)
+    supplier.push(Event(7, data="reading-1", source="sensor-a"))
+    engine.run(until=0.1)
+    assert len(got) == 1
+    assert got[0].type_id == 7
+    assert got[0].data == "reading-1"
+
+
+def test_sequence_numbers_shared_across_suppliers_of_a_type():
+    engine, channel, sup_host, con_host = build_channel([topic(topic_id=7)])
+    got = []
+    consumer = channel.obtain_push_supplier(con_host)
+    consumer.connect_push_consumer(got.append, type_ids=[7])
+    supplier_a = channel.obtain_push_consumer(sup_host)
+    supplier_b = channel.obtain_push_consumer(sup_host)
+    supplier_a.push(Event(7, data="a"))
+    supplier_b.push(Event(7, data="b"))
+    engine.run(until=0.1)
+    assert [event.data for event in got] == ["a", "b"]
+    assert channel._sequences[7] == 2
+
+
+def test_undeclared_event_type_rejected():
+    engine, channel, sup_host, _ = build_channel([topic(topic_id=7)])
+    supplier = channel.obtain_push_consumer(sup_host)
+    with pytest.raises(KeyError, match="no declared requirement spec"):
+        supplier.push(Event(99))
+
+
+def test_disconnected_supplier_cannot_push():
+    engine, channel, sup_host, _ = build_channel([topic(topic_id=7)])
+    supplier = channel.obtain_push_consumer(sup_host)
+    supplier.disconnect_push_consumer()
+    with pytest.raises(RuntimeError, match="disconnected"):
+        supplier.push(Event(7))
+
+
+def test_consumer_filtering_by_type():
+    specs = [topic(topic_id=1), topic(topic_id=2)]
+    engine, channel, sup_host, con_host = build_channel(specs)
+    only_type_1 = []
+    consumer = channel.obtain_push_supplier(con_host)
+    consumer.connect_push_consumer(only_type_1.append, type_ids=[1])
+    supplier = channel.obtain_push_consumer(sup_host)
+    supplier.push(Event(1, data="wanted"))
+    supplier.push(Event(2, data="unwanted"))
+    engine.run(until=0.1)
+    assert [event.data for event in only_type_1] == ["wanted"]
+
+
+def test_two_consumers_fan_out():
+    engine, channel, sup_host, con_host = build_channel([topic(topic_id=7)])
+    first, second = [], []
+    proxy1 = channel.obtain_push_supplier(con_host)
+    proxy1.connect_push_consumer(first.append, type_ids=[7])
+    proxy2 = channel.obtain_push_supplier(con_host)
+    proxy2.connect_push_consumer(second.append, type_ids=[7])
+    supplier = channel.obtain_push_consumer(sup_host)
+    supplier.push(Event(7, data="x"))
+    engine.run(until=0.1)
+    assert len(first) == len(second) == 1
+    assert channel.primary.stats.dispatched == 1   # one job, two pushes
+
+
+def test_double_connect_rejected():
+    engine, channel, _, con_host = build_channel([topic(topic_id=7)])
+    consumer = channel.obtain_push_supplier(con_host)
+    consumer.connect_push_consumer(lambda e: None, type_ids=[7])
+    with pytest.raises(RuntimeError, match="already connected"):
+        consumer.connect_push_consumer(lambda e: None, type_ids=[7])
+
+
+def test_disconnect_stops_delivery():
+    engine, channel, sup_host, con_host = build_channel([topic(topic_id=7)])
+    got = []
+    consumer = channel.obtain_push_supplier(con_host)
+    consumer.connect_push_consumer(got.append, type_ids=[7])
+    supplier = channel.obtain_push_consumer(sup_host)
+    supplier.push(Event(7, data="first"))
+    engine.run(until=0.1)
+    consumer.disconnect_push_supplier()
+    supplier.push(Event(7, data="second"))
+    engine.run(until=0.2)
+    assert [event.data for event in got] == ["first"]
+
+
+def test_channel_replication_follows_frame_plan():
+    """The channel body is a full FRAME broker: a category-2 type gets
+    replicated to the Backup, coordination prunes it after dispatch."""
+    engine, channel, sup_host, con_host = build_channel([topic(topic_id=7)])
+    consumer = channel.obtain_push_supplier(con_host)
+    consumer.connect_push_consumer(lambda e: None, type_ids=[7])
+    supplier = channel.obtain_push_consumer(sup_host)
+    supplier.push(Event(7))
+    engine.run(until=0.1)
+    assert channel.primary.stats.replicated == 1
+    assert channel.backup.backup_buffer.get(7, 1).discard
+
+
+def test_declared_types_and_spec_lookup():
+    specs = [topic(topic_id=3), topic(topic_id=1)]
+    engine, channel, _, _ = build_channel(specs)
+    assert channel.declared_types() == (1, 3)
+    assert channel.spec_of(3).topic_id == 3

@@ -1,0 +1,103 @@
+"""Tests for the sporadic arrival models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import ms
+from repro.workloads.arrivals import (
+    ArrivalModel,
+    BurstyArrivals,
+    PeriodicJitter,
+    SporadicExponential,
+)
+
+MODELS = [
+    PeriodicJitter(0.01),
+    PeriodicJitter(0.0),
+    SporadicExponential(0.5),
+    SporadicExponential(0.0),
+    BurstyArrivals(burst_length_mean=5.0, idle_periods=10.0),
+    BurstyArrivals(burst_length_mean=1.0, idle_periods=0.0),
+]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__ + repr(id(m) % 7))
+@settings(max_examples=20)
+@given(period_ms=st.floats(1.0, 1000.0, allow_nan=False),
+       seed=st.integers(0, 10_000))
+def test_sporadic_lower_bound_holds(model, period_ms, seed):
+    """Every model respects the sporadic contract: gap >= Ti (Lemma 1's
+    traffic assumption)."""
+    rng = random.Random(seed)
+    period = ms(period_ms)
+    for _ in range(50):
+        assert model.next_gap(rng, period) >= period - 1e-15
+
+
+def test_periodic_jitter_bounds():
+    rng = random.Random(1)
+    model = PeriodicJitter(0.1)
+    gaps = [model.next_gap(rng, 1.0) for _ in range(500)]
+    assert all(1.0 <= gap <= 1.1 for gap in gaps)
+    assert max(gaps) > 1.05   # jitter actually used
+
+
+def test_exponential_mean_excess():
+    rng = random.Random(2)
+    model = SporadicExponential(excess_mean=0.5)
+    gaps = [model.next_gap(rng, 1.0) for _ in range(4000)]
+    mean_excess = sum(gap - 1.0 for gap in gaps) / len(gaps)
+    assert mean_excess == pytest.approx(0.5, rel=0.1)
+
+
+def test_bursty_produces_min_gaps_and_idles():
+    rng = random.Random(3)
+    model = BurstyArrivals(burst_length_mean=5.0, idle_periods=10.0)
+    gaps = [model.next_gap(rng, 1.0) for _ in range(1000)]
+    tight = sum(1 for gap in gaps if gap == 1.0)
+    idle = sum(1 for gap in gaps if gap > 5.0)
+    assert tight > 500            # most gaps are at the sporadic minimum
+    assert idle > 50              # but real idle phases occur
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        PeriodicJitter(-0.1)
+    with pytest.raises(ValueError):
+        SporadicExponential(-1.0)
+    with pytest.raises(ValueError):
+        BurstyArrivals(burst_length_mean=0.5)
+    with pytest.raises(ValueError):
+        BurstyArrivals(idle_periods=-1.0)
+    with pytest.raises(NotImplementedError):
+        ArrivalModel().next_gap(random.Random(0), 1.0)
+
+
+def test_publisher_accepts_custom_arrival_model():
+    """End-to-end: a bursty publisher still satisfies its guarantees at
+    light load (bursts are the sporadic worst case, not a violation)."""
+    from tests.helpers import build_mini, topic
+
+    system = build_mini([topic(topic_id=0)])
+    from repro.actors.publisher import PublisherProxy
+
+    publisher = PublisherProxy(
+        system.engine, system.pub_host, system.network, "bursty",
+        specs=[system.config.topics[0]],
+        primary_ingress=system.primary.ingress_address,
+        backup_ingress=system.backup.ingress_address,
+        failover_bound=ms(50), detector_poll=ms(15), detector_timeout=ms(10),
+        arrival_model=BurstyArrivals(burst_length_mean=4.0, idle_periods=5.0),
+        stats=system.publisher_stats,
+    )
+    system.engine.run(until=3.0)
+    created = system.publisher_stats.created[0]
+    assert len(created) >= 5
+    gaps = [b - a for a, b in zip(created, created[1:])]
+    assert all(gap >= system.config.topics[0].period - 1e-12 for gap in gaps)
+    # All created messages (except possibly trailing in-flight) delivered.
+    missing = set(range(1, len(created) - 1)) - system.delivered_seqs(0)
+    assert missing == set()

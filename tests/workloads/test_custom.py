@@ -1,0 +1,100 @@
+"""Tests for user-defined workload files (JSON load/save)."""
+
+import json
+
+import pytest
+
+from repro.core.model import CLOUD, EDGE, LOSS_UNBOUNDED
+from repro.core.units import ms
+from repro.workloads.custom import (
+    WorkloadFormatError,
+    load_topics,
+    obj_to_spec,
+    save_topics,
+    spec_to_obj,
+)
+from repro.workloads.spec import build_workload
+
+
+def test_roundtrip_table2_workload(tmp_path):
+    original = list(build_workload(1525, scale=0.1).specs)
+    path = tmp_path / "topics.json"
+    save_topics(original, str(path))
+    loaded = load_topics(str(path))
+    assert loaded == original
+
+
+def test_inf_loss_tolerance_serialization(tmp_path):
+    specs = [spec for spec in build_workload(1525, scale=0.1).specs
+             if spec.best_effort][:1]
+    path = tmp_path / "topics.json"
+    save_topics(specs, str(path))
+    raw = json.loads(path.read_text())
+    assert raw["topics"][0]["loss_tolerance"] == "inf"
+    assert load_topics(str(path))[0].loss_tolerance == LOSS_UNBOUNDED
+
+
+def test_obj_conversion_defaults():
+    spec = obj_to_spec({"topic_id": 1, "period_ms": 100, "deadline_ms": 200,
+                        "loss_tolerance": 3})
+    assert spec.period == ms(100)
+    assert spec.deadline == ms(200)
+    assert spec.retention == 0
+    assert spec.destination == EDGE
+    assert spec.category == -1
+
+
+def test_cloud_destination_preserved():
+    spec = obj_to_spec({"topic_id": 1, "period_ms": 500, "deadline_ms": 500,
+                        "loss_tolerance": 0, "retention": 1,
+                        "destination": CLOUD})
+    assert spec.destination == CLOUD
+    assert spec_to_obj(spec)["destination"] == CLOUD
+
+
+@pytest.mark.parametrize("bad", [
+    {"topic_id": 1},                                       # missing fields
+    {"topic_id": 1, "period_ms": -5, "deadline_ms": 10,
+     "loss_tolerance": 0},                                 # invalid period
+    {"topic_id": 1, "period_ms": 10, "deadline_ms": 10,
+     "loss_tolerance": "sometimes"},                       # bad loss string
+])
+def test_bad_topic_objects_rejected(bad):
+    with pytest.raises((WorkloadFormatError, ValueError)):
+        obj_to_spec(bad)
+
+
+def test_load_rejects_wrong_shape(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(WorkloadFormatError, match="topics"):
+        load_topics(str(path))
+    path.write_text(json.dumps({"topics": []}))
+    with pytest.raises(WorkloadFormatError, match="non-empty"):
+        load_topics(str(path))
+
+
+def test_load_rejects_duplicate_ids(tmp_path):
+    topic = {"topic_id": 7, "period_ms": 100, "deadline_ms": 100,
+             "loss_tolerance": 0, "retention": 1}
+    path = tmp_path / "dup.json"
+    path.write_text(json.dumps({"topics": [topic, dict(topic)]}))
+    with pytest.raises(WorkloadFormatError, match="duplicate"):
+        load_topics(str(path))
+
+
+def test_loaded_specs_run_through_the_analyzer(tmp_path):
+    """The point of custom workloads: they plug into the planning API."""
+    from repro.analysis import plan_capacity
+    from repro.core.config import CostModel
+    from repro.core.policy import FRAME
+    from repro.experiments.runner import ExperimentSettings
+
+    specs = list(build_workload(1525, scale=0.1).specs)
+    path = tmp_path / "topics.json"
+    save_topics(specs, str(path))
+    loaded = load_topics(str(path))
+    report = plan_capacity(loaded, FRAME,
+                           ExperimentSettings().deadline_parameters(),
+                           CostModel.calibrated(0.1))
+    assert report.deployable

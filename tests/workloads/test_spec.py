@@ -1,0 +1,105 @@
+"""Workload generator tests (Table 2 categories, sweeps, proxy grouping)."""
+
+import pytest
+
+from repro.core.model import CLOUD, EDGE, LOSS_UNBOUNDED
+from repro.core.units import ms
+from repro.workloads.spec import (
+    CATEGORIES,
+    PAPER_WORKLOADS,
+    build_workload,
+)
+
+
+def test_categories_match_table2():
+    expected = {
+        0: (ms(50), ms(50), 0, 2, EDGE),
+        1: (ms(50), ms(50), 3, 0, EDGE),
+        2: (ms(100), ms(100), 0, 1, EDGE),
+        3: (ms(100), ms(100), 3, 0, EDGE),
+        4: (ms(100), ms(100), LOSS_UNBOUNDED, 0, EDGE),
+        5: (ms(500), ms(500), 0, 1, CLOUD),
+    }
+    for category, (period, deadline, loss, retention, dest) in expected.items():
+        spec = CATEGORIES[category].make_topic(0)
+        assert spec.period == period
+        assert spec.deadline == deadline
+        assert spec.loss_tolerance == loss
+        assert spec.retention == retention
+        assert spec.destination == dest
+
+
+def test_paper_workload_counts_at_full_scale():
+    for total in PAPER_WORKLOADS:
+        workload = build_workload(total, scale=1.0)
+        assert workload.topic_count == total
+        assert len(workload.specs_of_category(0)) == 10
+        assert len(workload.specs_of_category(1)) == 10
+        assert len(workload.specs_of_category(5)) == 5
+        sensors = (total - 25) // 3
+        for category in (2, 3, 4):
+            assert len(workload.specs_of_category(category)) == sensors
+
+
+def test_scaled_workload_shrinks_only_sensor_categories():
+    workload = build_workload(7525, scale=0.1)
+    assert len(workload.specs_of_category(0)) == 10
+    assert len(workload.specs_of_category(5)) == 5
+    assert len(workload.specs_of_category(2)) == 250
+    assert workload.topic_count == 25 + 3 * 250
+
+
+def test_topic_ids_are_unique_and_dense():
+    workload = build_workload(1525, scale=0.1)
+    ids = [spec.topic_id for spec in workload.specs]
+    assert len(set(ids)) == len(ids)
+    assert sorted(ids) == list(range(len(ids)))
+
+
+def test_proxy_grouping_sizes():
+    """Proxies of 10 (cats 0/1), 50 (cats 2-4), 1 (cat 5) topics."""
+    workload = build_workload(1525, scale=1.0)
+    by_category = {}
+    for proxy in workload.proxies:
+        category = proxy.specs[0].category
+        by_category.setdefault(category, []).append(len(proxy.specs))
+    assert by_category[0] == [10]
+    assert by_category[1] == [10]
+    assert by_category[5] == [1] * 5
+    assert all(size == 50 for size in by_category[2])
+    assert sum(by_category[2]) == 500
+
+
+def test_proxies_have_uniform_period():
+    workload = build_workload(4525, scale=0.1)
+    for proxy in workload.proxies:
+        periods = {spec.period for spec in proxy.specs}
+        assert len(periods) == 1
+
+
+def test_proxies_alternate_hosts():
+    workload = build_workload(1525, scale=0.1)
+    hosts = {proxy.host_index for proxy in workload.proxies}
+    assert hosts == {0, 1}
+
+
+def test_message_rate_formula():
+    workload = build_workload(7525, scale=1.0)
+    # 20 topics @ 20 Hz + 7500 @ 10 Hz + 5 @ 2 Hz
+    assert workload.message_rate() == pytest.approx(400 + 75000 + 10)
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        build_workload(24)
+    with pytest.raises(ValueError):
+        build_workload(1526)          # (total - 25) not divisible by 3
+    with pytest.raises(ValueError):
+        build_workload(1525, scale=0.0)
+    with pytest.raises(ValueError):
+        build_workload(1525, scale=1.5)
+
+
+def test_workload_name_encodes_scale():
+    assert build_workload(1525, scale=1.0).name == "1525-topics"
+    assert "@0.1" in build_workload(1525, scale=0.1).name
