@@ -4,6 +4,11 @@ Benchmarks that regenerate paper tables run whole simulation sweeps, so
 they use ``benchmark.pedantic(..., rounds=1)``; cells are cached across
 benchmark modules (see :mod:`repro.experiments.cells`), letting Fig. 7
 reuse Table 5's fault-free runs the way the paper's own evaluation did.
+Summaries also persist across *runs* under ``benchmarks/.cellcache/``
+(:mod:`repro.experiments.cellcache`): rerunning an identical sweep skips
+simulation entirely, and any change to the ``repro`` sources invalidates
+the cache automatically.  ``REPRO_JOBS=N`` (or ``0`` for all CPUs) fans
+the sweeps out over worker processes with bit-identical results.
 
 Rendered tables are written to ``benchmarks/output/`` and echoed to stdout
 (run with ``-s`` to see them live).
@@ -16,11 +21,19 @@ import pytest
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
 #: Seeds per cell for the table sweeps (the paper uses 10; 3 keeps the
-#: default benchmark run under ~15 minutes).  Override with REPRO_SEEDS.
+#: default benchmark run under ~15 minutes cold).  Override with REPRO_SEEDS.
 SEEDS = range(int(os.environ.get("REPRO_SEEDS", "3")))
 
 #: Workload scale factor (1.0 = paper scale).  Override with REPRO_SCALE.
 SCALE = float(os.environ.get("REPRO_SCALE", "0.1"))
+
+#: Worker processes per sweep, resolved from REPRO_JOBS (see
+#: repro.experiments.parallel.resolve_jobs).  The table/figure helpers
+#: consult the same default internally; this constant is for benchmarks
+#: that build sweeps by hand.
+from repro.experiments.parallel import resolve_jobs
+
+JOBS = resolve_jobs(None)
 
 
 @pytest.fixture(scope="session")

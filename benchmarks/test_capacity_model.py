@@ -8,12 +8,13 @@ values may exceed predictions by up to the background-load band (≤ 7 %).
 
 from dataclasses import replace
 
-from conftest import SCALE, SEEDS
+from conftest import JOBS, SCALE, SEEDS
 
 from repro.analysis import predict_utilization
 from repro.core.config import CostModel
 from repro.core.policy import ALL_POLICIES
 from repro.experiments.cells import run_cell
+from repro.experiments.parallel import run_cells
 from repro.experiments.runner import ExperimentSettings
 from repro.metrics.report import format_table
 from repro.metrics.stats import mean_confidence_interval
@@ -27,6 +28,10 @@ def test_capacity_model_validation(benchmark, emit):
     base = ExperimentSettings(scale=SCALE, crash_at=None)
 
     def sweep():
+        run_cells([replace(base, policy=policy, paper_total=workload, seed=seed)
+                   for workload in WORKLOADS
+                   for policy in ALL_POLICIES
+                   for seed in SEEDS], jobs=JOBS)
         rows = []
         worst_gap = 0.0
         for workload in WORKLOADS:

@@ -4,8 +4,14 @@
 and runs one ``(policy, workload, seed)`` cell; the per-table modules
 aggregate cells into the paper's tables and figure summaries; the CLI
 (``python -m repro.experiments``) regenerates everything.
+
+Sweeps route through :mod:`repro.experiments.parallel` (worker-process
+fan-out, ``--jobs`` / ``REPRO_JOBS``) and are memoized both in memory
+(:mod:`repro.experiments.cells`) and on disk across runs
+(:mod:`repro.experiments.cellcache`).
 """
 
+from repro.experiments.parallel import run_cells
 from repro.experiments.runner import ExperimentSettings, RunResult, run_experiment
 
-__all__ = ["ExperimentSettings", "RunResult", "run_experiment"]
+__all__ = ["ExperimentSettings", "RunResult", "run_cells", "run_experiment"]

@@ -27,6 +27,7 @@ from repro.core.policy import (
 from repro.core.timing import DeadlineParameters, needs_replication
 from repro.core.units import to_ms
 from repro.experiments.cells import run_cell
+from repro.experiments.parallel import run_cells
 from repro.experiments.runner import ExperimentSettings
 from repro.metrics.report import format_table
 from repro.metrics.stats import mean_confidence_interval
@@ -65,6 +66,21 @@ class LessonResult:
                             f"({self.workload} topics)", headers, rows)
 
 
+def _cell_settings(policy: ConfigPolicy, base: ExperimentSettings,
+                   seed: int, crash: bool) -> ExperimentSettings:
+    return replace(base, policy=policy, seed=seed,
+                   crash_at=base.measure / 2.0 if crash else None,
+                   traced_categories=(0, 2, 5) if crash else ())
+
+
+def _prefetch(policies: Sequence[ConfigPolicy], base: ExperimentSettings,
+              seeds: Sequence[int], crash: bool,
+              jobs: Optional[int]) -> None:
+    """Fan the lesson's full settings grid through the parallel executor."""
+    run_cells([_cell_settings(policy, base, seed, crash)
+               for policy in policies for seed in seeds], jobs=jobs)
+
+
 def _policy_aggregates(policy: ConfigPolicy, base: ExperimentSettings,
                        seeds: Sequence[int], crash: bool) -> Dict[str, float]:
     delivery, proxy, backup_proxy = [], [], []
@@ -72,10 +88,7 @@ def _policy_aggregates(policy: ConfigPolicy, base: ExperimentSettings,
     peak_after = []
     recovered, skipped = [], []
     for seed in seeds:
-        settings = replace(base, policy=policy, seed=seed,
-                           crash_at=base.measure / 2.0 if crash else None,
-                           traced_categories=(0, 2, 5) if crash else ())
-        cell = run_cell(settings)
+        cell = run_cell(_cell_settings(policy, base, seed, crash))
         delivery.append(cell.utilizations["primary_delivery"])
         proxy.append(cell.utilizations["primary_proxy"])
         backup_proxy.append(cell.utilizations["backup_proxy"])
@@ -102,52 +115,62 @@ def _policy_aggregates(policy: ConfigPolicy, base: ExperimentSettings,
 
 
 def lesson1_replication_removal(workload: int = 7525, seeds: Sequence[int] = range(3),
-                                scale: float = 0.1) -> LessonResult:
+                                scale: float = 0.1,
+                                jobs: Optional[int] = None) -> LessonResult:
     """Selective replication (Prop. 1) cuts Message Delivery CPU."""
     base = ExperimentSettings(paper_total=workload, scale=scale)
+    policies = (FRAME, FRAME_NO_SELECTIVE, FCFS)
+    _prefetch(policies, base, seeds, crash=False, jobs=jobs)
     return LessonResult(
         lesson="Lesson 1",
         description="replication removal lowers CPU utilization",
         workload=workload,
         metrics={
             policy.name: _policy_aggregates(policy, base, seeds, crash=False)
-            for policy in (FRAME, FRAME_NO_SELECTIVE, FCFS)
+            for policy in policies
         },
     )
 
 
 def lesson2_pruning_tradeoff(workload: int = 7525, seeds: Sequence[int] = range(3),
-                             scale: float = 0.1) -> LessonResult:
+                             scale: float = 0.1,
+                             jobs: Optional[int] = None) -> LessonResult:
     """Pruning cuts recovery latency but costs fault-free overhead."""
     base = ExperimentSettings(paper_total=workload, scale=scale)
+    policies = (FCFS, FCFS_MINUS)
+    _prefetch(policies, base, seeds, crash=True, jobs=jobs)
     return LessonResult(
         lesson="Lesson 2",
         description="pruning reduces recovery latency at fault-free cost",
         workload=workload,
         metrics={
             policy.name: _policy_aggregates(policy, base, seeds, crash=True)
-            for policy in (FCFS, FCFS_MINUS)
+            for policy in policies
         },
     )
 
 
 def lesson3_combined(workload: int = 7525, seeds: Sequence[int] = range(3),
-                     scale: float = 0.1) -> LessonResult:
+                     scale: float = 0.1,
+                     jobs: Optional[int] = None) -> LessonResult:
     """Removal + pruning beats FCFS- both at recovery and fault-free."""
     base = ExperimentSettings(paper_total=workload, scale=scale)
+    policies = (FRAME, FCFS_MINUS)
+    _prefetch(policies, base, seeds, crash=True, jobs=jobs)
     return LessonResult(
         lesson="Lesson 3",
         description="replication removal + pruning wins on both sides",
         workload=workload,
         metrics={
             policy.name: _policy_aggregates(policy, base, seeds, crash=True)
-            for policy in (FRAME, FCFS_MINUS)
+            for policy in policies
         },
     )
 
 
 def lesson4_retention(workload: int = 13525, seeds: Sequence[int] = range(3),
-                      scale: float = 0.1) -> LessonResult:
+                      scale: float = 0.1,
+                      jobs: Optional[int] = None) -> LessonResult:
     """A small retention increase removes replication and saves CPU.
 
     Fault-free runs (like the paper's Fig. 7): in crash runs the promoted
@@ -155,20 +178,23 @@ def lesson4_retention(workload: int = 13525, seeds: Sequence[int] = range(3),
     replication-traffic difference this lesson is about.
     """
     base = ExperimentSettings(paper_total=workload, scale=scale)
+    policies = (FRAME, FRAME_PLUS)
+    _prefetch(policies, base, seeds, crash=False, jobs=jobs)
     return LessonResult(
         lesson="Lesson 4",
         description="retention +1 removes replication and improves efficiency",
         workload=workload,
         metrics={
             policy.name: _policy_aggregates(policy, base, seeds, crash=False)
-            for policy in (FRAME, FRAME_PLUS)
+            for policy in policies
         },
     )
 
 
 def table1_strategies(workloads: Sequence[int] = (7525, 10525),
                       seeds: Sequence[int] = range(2),
-                      scale: float = 0.1) -> List[LessonResult]:
+                      scale: float = 0.1,
+                      jobs: Optional[int] = None) -> List[LessonResult]:
     """Empirical comparison of Table 1's loss-tolerance strategies.
 
     * **publisher resend only** — FRAME+ (retention covers everything);
@@ -179,6 +205,13 @@ def table1_strategies(workloads: Sequence[int] = (7525, 10525),
       journal writes consume delivery-worker capacity, so the strategy's
       throughput ceiling sits well below FRAME's.
     """
+    policies = (FRAME_PLUS, FRAME, DISK_LOG)
+    run_cells([_cell_settings(policy, ExperimentSettings(paper_total=workload,
+                                                         scale=scale),
+                              seed, crash=False)
+               for workload in workloads
+               for policy in policies
+               for seed in seeds], jobs=jobs)
     results = []
     for workload in workloads:
         base = ExperimentSettings(paper_total=workload, scale=scale)
@@ -188,7 +221,7 @@ def table1_strategies(workloads: Sequence[int] = (7525, 10525),
             workload=workload,
             metrics={
                 policy.name: _policy_aggregates(policy, base, seeds, crash=False)
-                for policy in (FRAME_PLUS, FRAME, DISK_LOG)
+                for policy in policies
             },
         ))
     return results
@@ -229,10 +262,11 @@ def retention_sweep(bonuses: Sequence[int] = (0, 1, 2, 3),
                                 replicated_categories=replicated)
 
 
-def all_lessons(scale: float = 0.1, seeds: Sequence[int] = range(3)) -> List[LessonResult]:
+def all_lessons(scale: float = 0.1, seeds: Sequence[int] = range(3),
+                jobs: Optional[int] = None) -> List[LessonResult]:
     return [
-        lesson1_replication_removal(scale=scale, seeds=seeds),
-        lesson2_pruning_tradeoff(scale=scale, seeds=seeds),
-        lesson3_combined(scale=scale, seeds=seeds),
-        lesson4_retention(scale=scale, seeds=seeds),
+        lesson1_replication_removal(scale=scale, seeds=seeds, jobs=jobs),
+        lesson2_pruning_tradeoff(scale=scale, seeds=seeds, jobs=jobs),
+        lesson3_combined(scale=scale, seeds=seeds, jobs=jobs),
+        lesson4_retention(scale=scale, seeds=seeds, jobs=jobs),
     ]

@@ -1,0 +1,184 @@
+"""Persistent, cross-process cache of cell summaries.
+
+The in-memory cache in :mod:`repro.experiments.cells` dies with the
+process, so every benchmark run used to re-simulate every cell.  This
+module persists each :class:`~repro.experiments.cells.CellSummary` to
+disk under ``benchmarks/.cellcache/`` (one pickle per cell), keyed by a
+stable hash of:
+
+* the full :class:`~repro.experiments.runner.ExperimentSettings` value
+  (its dataclass ``repr``, which covers the policy and every knob),
+* a fingerprint of the Table 2 workload categories, and
+* a version hash over the ``repro`` package's source files, so any code
+  change invalidates the whole cache rather than serving stale results.
+
+Entries are written atomically (temp file + ``os.replace``), so parallel
+workers can share one cache directory safely.  Override the location
+with the ``REPRO_CELLCACHE`` environment variable (a path, or ``off`` to
+disable) or programmatically with :func:`set_cache_dir`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.cells import CellSummary
+    from repro.experiments.runner import ExperimentSettings
+
+_DISABLE_VALUES = {"off", "none", "0", ""}
+
+_cache_dir: Optional[str] = None
+_cache_dir_resolved = False
+_code_version: Optional[str] = None
+_workload_fingerprint: Optional[str] = None
+
+
+def _default_cache_dir() -> Optional[str]:
+    env = os.environ.get("REPRO_CELLCACHE")
+    if env is not None:
+        return None if env.strip().lower() in _DISABLE_VALUES else env
+    # <repo>/src/repro/experiments/cellcache.py -> <repo>/benchmarks/.cellcache
+    package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    root = os.path.dirname(os.path.dirname(package_dir))
+    return os.path.join(root, "benchmarks", ".cellcache")
+
+
+def cache_dir() -> Optional[str]:
+    """The active cache directory, or ``None`` when disabled."""
+    global _cache_dir, _cache_dir_resolved
+    if not _cache_dir_resolved:
+        _cache_dir = _default_cache_dir()
+        _cache_dir_resolved = True
+    return _cache_dir
+
+
+def set_cache_dir(path: Optional[str]) -> None:
+    """Point the disk cache at ``path`` (``None`` disables it)."""
+    global _cache_dir, _cache_dir_resolved
+    _cache_dir = path
+    _cache_dir_resolved = True
+
+
+def enabled() -> bool:
+    return cache_dir() is not None
+
+
+# ----------------------------------------------------------------------
+# Key derivation
+# ----------------------------------------------------------------------
+def code_version() -> str:
+    """Hash of every ``repro`` source file: any edit invalidates the cache."""
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, _dirnames, filenames in sorted(os.walk(package_dir)):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, package_dir).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def workload_fingerprint() -> str:
+    """Hash of the Table 2 category definitions the workloads derive from."""
+    global _workload_fingerprint
+    if _workload_fingerprint is None:
+        from repro.workloads.spec import CATEGORIES
+
+        text = repr(sorted(CATEGORIES.items()))
+        _workload_fingerprint = hashlib.sha256(text.encode()).hexdigest()[:16]
+    return _workload_fingerprint
+
+
+def cache_key(settings: "ExperimentSettings") -> str:
+    """Stable hex key for one cell, valid across processes and runs."""
+    payload = "\n".join((repr(settings), workload_fingerprint(), code_version()))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _entry_path(key: str) -> str:
+    return os.path.join(cache_dir(), f"{key}.pkl")
+
+
+# ----------------------------------------------------------------------
+# Load / store
+# ----------------------------------------------------------------------
+def load_cell(settings: "ExperimentSettings") -> Optional["CellSummary"]:
+    """Return the cached summary for ``settings``, or ``None`` on any miss.
+
+    Unreadable entries (truncated writes from a killed process, format
+    drift) are deleted and treated as misses.
+    """
+    if not enabled():
+        return None
+    path = _entry_path(cache_key(settings))
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None
+
+
+def store_cell(settings: "ExperimentSettings", summary: "CellSummary") -> None:
+    """Persist ``summary`` atomically; silently a no-op when disabled."""
+    if not enabled():
+        return
+    directory = cache_dir()
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(summary, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, _entry_path(cache_key(settings)))
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only checkout or full disk must not fail the sweep.
+        pass
+
+
+def clear_disk_cache() -> int:
+    """Delete every cached entry; returns how many were removed."""
+    directory = cache_dir()
+    if directory is None or not os.path.isdir(directory):
+        return 0
+    removed = 0
+    for name in os.listdir(directory):
+        if name.endswith(".pkl") or name.endswith(".tmp"):
+            try:
+                os.remove(os.path.join(directory, name))
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def disk_cache_size() -> int:
+    """Number of persisted cell entries."""
+    directory = cache_dir()
+    if directory is None or not os.path.isdir(directory):
+        return 0
+    return sum(1 for name in os.listdir(directory) if name.endswith(".pkl"))

@@ -10,9 +10,10 @@ memory across a whole sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.actors.subscriber import TracedDelivery
+from repro.experiments import cellcache
 from repro.experiments.runner import ExperimentSettings, RowKey, RunResult, run_experiment
 
 #: Paper row order for Tables 4 and 5: (Di in ms, Li).
@@ -99,13 +100,41 @@ def summarize(result: RunResult, keep_series: bool = False) -> CellSummary:
 _CACHE: Dict[ExperimentSettings, CellSummary] = {}
 
 
-def run_cell(settings: ExperimentSettings, keep_series: bool = False) -> CellSummary:
-    """Run (or recall) one cell.  Cached per settings value."""
+def cached_cell(settings: ExperimentSettings,
+                keep_series: bool = False) -> Optional[CellSummary]:
+    """Recall a cell from the in-memory or on-disk cache, never simulating.
+
+    Returns ``None`` on a miss, or when ``keep_series`` asks for full
+    series and the cached summary was reduced without them.
+    """
     cached = _CACHE.get(settings)
     if cached is not None and (not keep_series or _has_series(cached)):
         return cached
-    summary = summarize(run_experiment(settings), keep_series=keep_series)
+    cached = cellcache.load_cell(settings)
+    if cached is not None and (not keep_series or _has_series(cached)):
+        _CACHE[settings] = cached
+        return cached
+    return None
+
+
+def adopt_cell(settings: ExperimentSettings, summary: CellSummary) -> None:
+    """Install an externally-computed summary (e.g. from a worker process)."""
     _CACHE[settings] = summary
+    cellcache.store_cell(settings, summary)
+
+
+def run_cell(settings: ExperimentSettings, keep_series: bool = False) -> CellSummary:
+    """Run (or recall) one cell.
+
+    Cached per settings value, in memory and — when the persistent cache
+    is enabled (see :mod:`repro.experiments.cellcache`) — on disk, so
+    repeated sweeps skip simulation entirely across processes and runs.
+    """
+    cached = cached_cell(settings, keep_series=keep_series)
+    if cached is not None:
+        return cached
+    summary = summarize(run_experiment(settings), keep_series=keep_series)
+    adopt_cell(settings, summary)
     return summary
 
 
@@ -114,6 +143,7 @@ def _has_series(summary: CellSummary) -> bool:
 
 
 def clear_cache() -> None:
+    """Drop the in-memory cache (the disk cache is left untouched)."""
     _CACHE.clear()
 
 

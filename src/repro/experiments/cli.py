@@ -3,13 +3,16 @@
 Examples::
 
     python -m repro.experiments table4
-    python -m repro.experiments table5 --seeds 10
+    python -m repro.experiments table5 --seeds 10 --jobs 4
     python -m repro.experiments fig9 --workload 7525
     python -m repro.experiments all --seeds 3 --scale 0.1
-    python -m repro.experiments all --full          # paper-scale (slow!)
+    python -m repro.experiments all --full --jobs 0  # paper-scale, all CPUs
 
 ``--full`` runs at scale 1.0 with the paper's timing (35 s warm-up, 60 s
-measuring phase); expect hours of wall-clock time.
+measuring phase); expect hours of wall-clock time.  ``--jobs N`` (or the
+``REPRO_JOBS`` env var; 0 = all CPUs) fans the sweeps out over worker
+processes with bit-identical results, and summaries persist under
+``benchmarks/.cellcache/`` so repeated sweeps skip simulation.
 """
 
 from __future__ import annotations
@@ -44,19 +47,22 @@ def _export(args, name: str, obj) -> None:
 
 
 def _run_table4(args) -> None:
-    result = tables.table4(seeds=range(args.seeds), settings=_base_settings(args))
+    result = tables.table4(seeds=range(args.seeds), settings=_base_settings(args),
+                           jobs=args.jobs)
     _emit(result.render(), args.out)
     _export(args, "table4", export.table_to_dict(result))
 
 
 def _run_table5(args) -> None:
-    result = tables.table5(seeds=range(args.seeds), settings=_base_settings(args))
+    result = tables.table5(seeds=range(args.seeds), settings=_base_settings(args),
+                           jobs=args.jobs)
     _emit(result.render(), args.out)
     _export(args, "table5", export.table_to_dict(result))
 
 
 def _run_fig7(args) -> None:
-    result = figures.fig7(seeds=range(args.seeds), settings=_base_settings(args))
+    result = figures.fig7(seeds=range(args.seeds), settings=_base_settings(args),
+                          jobs=args.jobs)
     _emit(result.render(), args.out)
     _export(args, "fig7", export.fig7_to_dict(result))
 
@@ -69,7 +75,8 @@ def _run_fig8(args) -> None:
 
 
 def _run_fig9(args) -> None:
-    result = figures.fig9(paper_total=args.workload, settings=_base_settings(args))
+    result = figures.fig9(paper_total=args.workload, settings=_base_settings(args),
+                          jobs=args.jobs)
     charts = "\n\n".join(result.render_chart(policy, 2)
                          for policy in ("FRAME", "FCFS-"))
     _emit(result.render() + "\n\n" + charts, args.out)
@@ -77,14 +84,16 @@ def _run_fig9(args) -> None:
 
 
 def _run_ablations(args) -> None:
-    for lesson in ablations.all_lessons(scale=args.scale, seeds=range(args.seeds)):
+    for lesson in ablations.all_lessons(scale=args.scale, seeds=range(args.seeds),
+                                        jobs=args.jobs):
         _emit(lesson.render(), args.out)
     _emit(ablations.retention_sweep().render(), args.out)
 
 
 def _run_strategies(args) -> None:
     for result in ablations.table1_strategies(scale=args.scale,
-                                              seeds=range(args.seeds)):
+                                              seeds=range(args.seeds),
+                                              jobs=args.jobs):
         _emit(result.render(), args.out)
 
 
@@ -139,6 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seeds", type=int, default=5,
                         help="repetitions per cell (paper uses 10)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweeps (default: "
+                             "$REPRO_JOBS or 1; 0 = all CPUs)")
     parser.add_argument("--scale", type=float, default=0.1,
                         help="sensor-topic scale factor (1.0 = paper scale)")
     parser.add_argument("--full", action="store_true",

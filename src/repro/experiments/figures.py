@@ -14,6 +14,7 @@ from repro.actors.subscriber import TracedDelivery
 from repro.core.policy import ALL_POLICIES, FRAME, ConfigPolicy
 from repro.core.units import ms, to_ms
 from repro.experiments.cells import TraceSummary, run_cell
+from repro.experiments.parallel import run_cells
 from repro.experiments.runner import ExperimentSettings, run_experiment
 from repro.metrics.report import format_table, format_value
 from repro.metrics.stats import mean_confidence_interval
@@ -62,10 +63,15 @@ def fig7(workloads: Sequence[int] = (1525, 4525, 7525, 10525, 13525),
          seeds: Sequence[int] = range(5),
          scale: float = 0.1,
          policies: Sequence[ConfigPolicy] = ALL_POLICIES,
-         settings: Optional[ExperimentSettings] = None) -> Fig7Result:
+         settings: Optional[ExperimentSettings] = None,
+         jobs: Optional[int] = None) -> Fig7Result:
     """Fig. 7: per-module CPU utilization across configurations (fault-free)."""
     base = settings if settings is not None else ExperimentSettings(scale=scale)
     base = replace(base, crash_at=None)
+    run_cells([replace(base, policy=policy, paper_total=workload, seed=seed)
+               for workload in workloads
+               for policy in policies
+               for seed in seeds], jobs=jobs)
     utilization: Dict[Tuple[str, int, str], Tuple[float, float]] = {}
     for workload in workloads:
         for policy in policies:
@@ -227,12 +233,15 @@ def fig9(paper_total: int = 7525,
          seed: int = 0,
          policies: Sequence[ConfigPolicy] = ALL_POLICIES,
          categories: Sequence[int] = (0, 2, 5),
-         settings: Optional[ExperimentSettings] = None) -> Fig9Result:
+         settings: Optional[ExperimentSettings] = None,
+         jobs: Optional[int] = None) -> Fig9Result:
     """Fig. 9: one crash run per policy, tracing one topic per category."""
     base = settings if settings is not None else ExperimentSettings()
     base = replace(base, paper_total=paper_total, scale=scale, seed=seed,
                    traced_categories=tuple(categories))
     base = replace(base, crash_at=base.measure / 2.0)
+    sweep = [replace(base, policy=policy) for policy in policies]
+    run_cells(sweep, jobs=jobs, keep_series=True)
     traces: Dict[Tuple[str, int], TraceSummary] = {}
     series: Dict[Tuple[str, int], Tuple[TracedDelivery, ...]] = {}
     for policy in policies:

@@ -234,3 +234,20 @@ def run_multi_edge(settings: ExperimentSettings, num_edges: int = 2,
         ))
     return MultiEdgeResult(edges=edges, cloud_stats=cloud_subscriber.stats,
                            crashed_edge=crash_edge)
+
+
+def run_multi_edge_cell(settings: ExperimentSettings, num_edges: int = 2,
+                        crash_edge: Optional[int] = None):
+    """Run one multi-edge scenario and reduce each edge to a cell summary.
+
+    This is the worker-friendly form used by
+    :func:`repro.experiments.parallel.run_multi_edge_cells`: the full
+    per-edge :class:`RunResult` objects (per-message records, live broker
+    state) stay inside the process; only the compact per-edge
+    :class:`~repro.experiments.cells.CellSummary` tuple crosses back.
+    """
+    from repro.experiments.cells import summarize
+
+    result = run_multi_edge(settings, num_edges=num_edges,
+                            crash_edge=crash_edge)
+    return tuple(summarize(edge) for edge in result.edges)

@@ -1,0 +1,124 @@
+"""Parallel sweep executor for experiment cells.
+
+Every paper artifact (Tables 4/5, Figs 7–9, the ablations, the
+multi-edge scenarios) is a sweep over independent ``(policy, workload,
+seed, fault)`` cells; each cell owns its own seeded :class:`Engine`, so
+cells can run in worker processes with bit-for-bit the same results as a
+serial sweep.  Workers run ``run_experiment`` + ``summarize`` and return
+only the compact :class:`~repro.experiments.cells.CellSummary` (~1 kB),
+never the full :class:`RunResult`.
+
+``run_cells`` is the one entry point the tables/figures/ablations route
+through; ``jobs`` resolves as: explicit argument → ``REPRO_JOBS``
+environment variable → 1 (serial).  ``jobs=0`` (or any non-positive
+value) means "all CPUs".  Cells already present in the in-memory or
+persistent cache are served without touching the pool.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import cells
+from repro.experiments.cells import CellSummary
+from repro.experiments.runner import ExperimentSettings
+
+#: Environment variable consulted when ``jobs`` is not given explicitly.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: argument → ``REPRO_JOBS`` → 1; <= 0 = all CPUs."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "1")
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {raw!r}")
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _worker_run_cell(settings: ExperimentSettings,
+                     keep_series: bool) -> CellSummary:
+    """Top-level (picklable) worker: run one cell inside a pool process."""
+    return cells.run_cell(settings, keep_series=keep_series)
+
+
+def run_cells(settings_list: Sequence[ExperimentSettings],
+              jobs: Optional[int] = None,
+              keep_series: bool = False) -> List[CellSummary]:
+    """Run (or recall) a sweep of cells, optionally across processes.
+
+    Returns one :class:`CellSummary` per input, in input order.  The
+    result is independent of ``jobs``: parallel and serial sweeps produce
+    identical summaries because every cell is a self-contained seeded
+    simulation.  Duplicate settings are simulated once.
+    """
+    settings_list = list(settings_list)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(settings_list) <= 1:
+        return [cells.run_cell(settings, keep_series=keep_series)
+                for settings in settings_list]
+
+    summaries: List[Optional[CellSummary]] = [None] * len(settings_list)
+    pending: Dict[ExperimentSettings, List[int]] = {}
+    for index, settings in enumerate(settings_list):
+        cached = cells.cached_cell(settings, keep_series=keep_series)
+        if cached is not None:
+            summaries[index] = cached
+        else:
+            pending.setdefault(settings, []).append(index)
+
+    if pending:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_worker_run_cell, settings, keep_series): settings
+                for settings in pending
+            }
+            for future, settings in futures.items():
+                summary = future.result()
+                cells.adopt_cell(settings, summary)
+                for index in pending[settings]:
+                    summaries[index] = summary
+    return summaries
+
+
+# ----------------------------------------------------------------------
+# Multi-edge sweeps
+# ----------------------------------------------------------------------
+#: One multi-edge cell: (settings, num_edges, crash_edge).
+MultiEdgeCell = Tuple[ExperimentSettings, int, Optional[int]]
+
+
+def _worker_multi_edge(cell: MultiEdgeCell) -> Tuple[CellSummary, ...]:
+    from repro.experiments.multi_edge import run_multi_edge_cell
+
+    settings, num_edges, crash_edge = cell
+    return run_multi_edge_cell(settings, num_edges=num_edges,
+                               crash_edge=crash_edge)
+
+
+def run_multi_edge_cells(cell_list: Sequence[MultiEdgeCell],
+                         jobs: Optional[int] = None
+                         ) -> List[Tuple[CellSummary, ...]]:
+    """Run a sweep of multi-edge scenarios, one tuple of summaries each.
+
+    Each entry of ``cell_list`` is ``(settings, num_edges, crash_edge)``;
+    the result preserves input order and, like :func:`run_cells`, is
+    identical for any ``jobs`` value.
+    """
+    from repro.experiments.multi_edge import run_multi_edge_cell
+
+    cell_list = list(cell_list)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(cell_list) <= 1:
+        return [run_multi_edge_cell(settings, num_edges=num_edges,
+                                    crash_edge=crash_edge)
+                for settings, num_edges, crash_edge in cell_list]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cell_list))) as pool:
+        futures = [pool.submit(_worker_multi_edge, cell) for cell in cell_list]
+        return [future.result() for future in futures]

@@ -142,35 +142,62 @@ class RunResult:
     accounting_end: float              # window end minus grace, for creations
     traced_topic_by_category: Dict[int, int] = field(default_factory=dict)
 
+    # Memoization of the per-topic reductions: the loss and latency
+    # reductions re-derive the same published/delivered views up to four
+    # times per topic, so each is computed once and reused.  Callers must
+    # treat the returned containers as read-only.
+    _spec_index: Optional[Dict[int, TopicSpec]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _published_cache: Dict[int, List[int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _delivered_cache: Dict[int, set] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+
     # ------------------------------------------------------------------
     def published_seqs(self, topic_id: int) -> List[int]:
         """Seqs of messages created inside the accounting window."""
+        cached = self._published_cache.get(topic_id)
+        if cached is not None:
+            return cached
         log = self.publisher_stats.created.get(topic_id, [])
         t0, _ = self.window
         end = self.accounting_end
-        return [index + 1 for index, created in enumerate(log)
+        seqs = [index + 1 for index, created in enumerate(log)
                 if t0 <= created < end]
+        self._published_cache[topic_id] = seqs
+        return seqs
+
+    def _delivered_seqs(self, topic_id: int) -> set:
+        cached = self._delivered_cache.get(topic_id)
+        if cached is None:
+            cached = self.subscriber_stats.delivered_seqs(topic_id)
+            self._delivered_cache[topic_id] = cached
+        return cached
 
     def topic_spec(self, topic_id: int) -> TopicSpec:
-        for spec in self.workload.specs:
-            if spec.topic_id == topic_id:
-                return spec
-        raise KeyError(topic_id)
+        index = self._spec_index
+        if index is None:
+            index = {spec.topic_id: spec for spec in self.workload.specs}
+            self._spec_index = index
+        spec = index.get(topic_id)
+        if spec is None:
+            raise KeyError(topic_id)
+        return spec
 
     # ------------------------------------------------------------------
     def topic_loss_ok(self, spec: TopicSpec) -> bool:
         published = self.published_seqs(spec.topic_id)
-        delivered = self.subscriber_stats.delivered_seqs(spec.topic_id)
+        delivered = self._delivered_seqs(spec.topic_id)
         return meets_loss_tolerance(published, delivered, spec.loss_tolerance)
 
     def topic_max_consecutive_losses(self, spec: TopicSpec) -> int:
         published = self.published_seqs(spec.topic_id)
-        delivered = self.subscriber_stats.delivered_seqs(spec.topic_id)
+        delivered = self._delivered_seqs(spec.topic_id)
         return max_consecutive_losses(published, delivered)
 
     def topic_total_losses(self, spec: TopicSpec) -> int:
         published = self.published_seqs(spec.topic_id)
-        delivered = self.subscriber_stats.delivered_seqs(spec.topic_id)
+        delivered = self._delivered_seqs(spec.topic_id)
         return total_losses(published, delivered)
 
     def topic_latency(self, spec: TopicSpec) -> LatencySummary:

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.policy import ALL_POLICIES, ConfigPolicy
 from repro.experiments import paper_reference
 from repro.experiments.cells import TABLE_ROWS, run_cell
+from repro.experiments.parallel import run_cells
 from repro.experiments.runner import ExperimentSettings, RowKey
 from repro.metrics.report import format_table, format_value
 from repro.metrics.stats import mean_confidence_interval
@@ -68,7 +69,13 @@ class TableResult:
 def _aggregate(metric: str, title: str, workloads: Sequence[int],
                seeds: Sequence[int], base: ExperimentSettings,
                policies: Sequence[ConfigPolicy],
-               paper_table) -> TableResult:
+               paper_table, jobs: Optional[int] = None) -> TableResult:
+    # Fan the whole (workload, policy, seed) grid out through the parallel
+    # executor first; the per-row consumption below then hits the cache.
+    run_cells([replace(base, policy=policy, paper_total=workload, seed=seed)
+               for workload in workloads
+               for policy in policies
+               for seed in seeds], jobs=jobs)
     cells: Dict[Tuple[int, RowKey, str], TableCell] = {}
     for workload in workloads:
         for policy in policies:
@@ -98,7 +105,8 @@ def table4(workloads: Sequence[int] = (7525, 10525, 13525),
            seeds: Sequence[int] = range(5),
            scale: float = 0.1,
            policies: Sequence[ConfigPolicy] = ALL_POLICIES,
-           settings: Optional[ExperimentSettings] = None) -> TableResult:
+           settings: Optional[ExperimentSettings] = None,
+           jobs: Optional[int] = None) -> TableResult:
     """Table 4: success rate for the loss-tolerance requirement (%).
 
     Crash runs: the Primary is killed halfway through the measuring phase
@@ -107,16 +115,19 @@ def table4(workloads: Sequence[int] = (7525, 10525, 13525),
     base = settings if settings is not None else ExperimentSettings(scale=scale)
     base = replace(base, crash_at=base.measure / 2.0)
     return _aggregate("loss", "TABLE 4: success rate for loss-tolerance requirement (%)",
-                      workloads, seeds, base, policies, paper_reference.TABLE4)
+                      workloads, seeds, base, policies, paper_reference.TABLE4,
+                      jobs=jobs)
 
 
 def table5(workloads: Sequence[int] = (4525, 7525, 10525, 13525),
            seeds: Sequence[int] = range(5),
            scale: float = 0.1,
            policies: Sequence[ConfigPolicy] = ALL_POLICIES,
-           settings: Optional[ExperimentSettings] = None) -> TableResult:
+           settings: Optional[ExperimentSettings] = None,
+           jobs: Optional[int] = None) -> TableResult:
     """Table 5: success rate for the latency requirement (%), fault-free."""
     base = settings if settings is not None else ExperimentSettings(scale=scale)
     base = replace(base, crash_at=None)
     return _aggregate("latency", "TABLE 5: success rate for latency requirement (%)",
-                      workloads, seeds, base, policies, paper_reference.TABLE5)
+                      workloads, seeds, base, policies, paper_reference.TABLE5,
+                      jobs=jobs)

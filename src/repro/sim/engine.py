@@ -18,18 +18,28 @@ from repro.sim.rng import RngRegistry
 class ScheduledCall:
     """A cancellable handle for a callback scheduled on the engine."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Safe to call repeatedly."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # While still on the heap, the owning engine counts this tombstone
+        # so pending_events()/peek_time() stay O(1) and the heap can compact
+        # when cancellations dominate.  Popped calls have no engine backref.
+        engine = self._engine
+        if engine is not None:
+            engine._note_cancel()
 
     def __lt__(self, other: "ScheduledCall") -> bool:
         if self.time != other.time:
@@ -57,10 +67,17 @@ class Engine:
     :meth:`run` is reached, whichever comes first.
     """
 
+    #: Compaction policy for lazily-deleted (cancelled) heap entries: rebuild
+    #: once at least ``_COMPACT_MIN`` tombstones accumulate *and* they make up
+    #: more than half the heap.  Rebuilding is O(n) and resets the tombstone
+    #: count to zero, so total compaction work stays amortized O(1) per cancel.
+    _COMPACT_MIN = 64
+
     def __init__(self, seed: int = 0, start_time: float = 0.0):
         self.now: float = start_time
         self._heap: list[ScheduledCall] = []
         self._seq: int = 0
+        self._cancelled: int = 0    # tombstones still sitting on the heap
         self._rngs = RngRegistry(seed)
         self.seed = seed
         self._running = False
@@ -78,7 +95,7 @@ class Engine:
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} before now={self.now}")
         self._seq += 1
-        call = ScheduledCall(time, self._seq, fn, args)
+        call = ScheduledCall(time, self._seq, fn, args, engine=self)
         heapq.heappush(self._heap, call)
         return call
 
@@ -118,7 +135,9 @@ class Engine:
         heap = self._heap
         while heap:
             call = heapq.heappop(heap)
+            call._engine = None
             if call.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = call.time
             call.fn(*call.args)
@@ -142,7 +161,9 @@ class Engine:
                 if call.time > until:
                     break
                 heapq.heappop(heap)
+                call._engine = None
                 if call.cancelled:
+                    self._cancelled -= 1
                     continue
                 self.now = call.time
                 call.fn(*call.args)
@@ -154,15 +175,37 @@ class Engine:
 
     def pending_events(self) -> int:
         """Number of scheduled (non-cancelled) events still on the heap."""
-        return sum(1 for call in self._heap if not call.cancelled)
+        return len(self._heap) - self._cancelled
 
     def peek_time(self) -> Optional[float]:
-        """Simulated time of the next runnable event, or ``None`` if drained."""
-        for call in self._heap:
-            if not call.cancelled:
-                break
-        else:
-            return None
-        # The heap head may be cancelled; find the true minimum lazily.
-        live = [c for c in self._heap if not c.cancelled]
-        return min(live).time if live else None
+        """Simulated time of the next runnable event, or ``None`` if drained.
+
+        Amortized O(1): cancelled heads are popped off (each cancelled call
+        is evicted at most once over the engine's lifetime), and the live
+        head is by the heap invariant the true minimum.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)._engine = None
+            self._cancelled -= 1
+        return heap[0].time if heap else None
+
+    # ------------------------------------------------------------------
+    # Lazy-deletion bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if (self._cancelled >= self._COMPACT_MIN
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        ``__lt__`` is a total order over ``(time, seq)``, so re-heapifying
+        the surviving calls cannot change the pop order: determinism is
+        preserved bit-for-bit.
+        """
+        self._heap = [call for call in self._heap if not call.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0

@@ -1,0 +1,19 @@
+"""Shared test configuration.
+
+The unit suite must stay hermetic: cells simulated here use tiny,
+test-only settings and must neither read stale entries from nor leak
+entries into the real persistent cache under ``benchmarks/.cellcache/``
+(see :mod:`repro.experiments.cellcache`).  Point the disk cache at a
+per-session temporary directory instead.
+"""
+
+import pytest
+
+from repro.experiments import cellcache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cell_cache(tmp_path_factory):
+    cellcache.set_cache_dir(str(tmp_path_factory.mktemp("cellcache")))
+    yield
+    cellcache.set_cache_dir(None)

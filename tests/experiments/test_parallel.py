@@ -1,0 +1,190 @@
+"""Tests for the parallel sweep executor and the persistent cell cache.
+
+The load-bearing property: a sweep's summaries are bit-for-bit identical
+whatever ``jobs`` is, and a summary survives a disk round-trip into a
+fresh process losslessly.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.core.policy import FCFS_MINUS, FRAME
+from repro.experiments import cellcache, cells
+from repro.experiments.parallel import (
+    resolve_jobs,
+    run_cells,
+    run_multi_edge_cells,
+)
+from repro.experiments.runner import ExperimentSettings
+
+TINY = ExperimentSettings(paper_total=1525, scale=0.02, seed=1,
+                          warmup=1.0, measure=3.0, grace=0.5)
+
+
+def same_summary(a, b) -> bool:
+    """Strict structural equality that also treats NaN == NaN as true.
+
+    Dataclass ``==`` falls over on summaries that crossed a process or
+    disk boundary: ``peak_latency_after`` is NaN for fault-free traces,
+    and a deserialized NaN is a different object, defeating the container
+    identity shortcut.  Identical pickle bytes ⇒ identical structure.
+    """
+    return pickle.dumps(a) == pickle.dumps(b)
+
+#: The acceptance-criteria sweep shape: 2 policies x 3 seeds, one crash
+#: (Table 4-style) and one fault-free (Table 5-style) variant each.
+SWEEP = [replace(TINY, policy=policy, seed=seed, crash_at=crash_at)
+         for policy in (FRAME, FCFS_MINUS)
+         for seed in (1, 2, 3)
+         for crash_at in (None, TINY.measure / 2.0)]
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path):
+    """A private, empty disk cache for one test; restores the previous one."""
+    previous = cellcache.cache_dir()
+    cellcache.set_cache_dir(str(tmp_path / "cellcache"))
+    cells.clear_cache()
+    yield str(tmp_path / "cellcache")
+    cells.clear_cache()
+    cellcache.set_cache_dir(previous)
+
+
+# ----------------------------------------------------------------------
+# jobs resolution
+# ----------------------------------------------------------------------
+def test_resolve_jobs_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs(None) == 5
+    assert resolve_jobs(2) == 2          # explicit argument wins
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        resolve_jobs(None)
+
+
+# ----------------------------------------------------------------------
+# Parallel-vs-serial equivalence
+# ----------------------------------------------------------------------
+def test_parallel_and_serial_sweeps_are_identical(fresh_cache):
+    serial = run_cells(SWEEP, jobs=1)
+    cells.clear_cache()
+    cellcache.clear_disk_cache()
+    parallel = run_cells(SWEEP, jobs=4)
+    assert len(serial) == len(SWEEP)
+    for cell_serial, cell_parallel in zip(serial, parallel):
+        assert cell_serial == cell_parallel
+
+
+def test_run_cells_preserves_order_and_dedupes(fresh_cache):
+    sweep = [TINY, replace(TINY, seed=2), TINY]    # duplicate first cell
+    summaries = run_cells(sweep, jobs=2)
+    assert summaries[0] == summaries[2]
+    assert summaries[0].seed == 1
+    assert summaries[1].seed == 2
+    # The duplicate was simulated once: two unique cells, two disk entries.
+    assert cellcache.disk_cache_size() == 2
+
+
+def test_multi_edge_parallel_matches_serial(fresh_cache):
+    tasks = [(replace(TINY, seed=9, measure=4.0, crash_at=2.0), 2, 0),
+             (replace(TINY, seed=9, measure=4.0), 2, None)]
+    serial = run_multi_edge_cells(tasks, jobs=1)
+    parallel = run_multi_edge_cells(tasks, jobs=2)
+    assert serial == parallel
+    crashed, healthy = serial[0]
+    assert crashed.crashed and not healthy.crashed
+
+
+# ----------------------------------------------------------------------
+# Persistent cache
+# ----------------------------------------------------------------------
+def test_cache_round_trip_is_lossless(fresh_cache):
+    original = cells.run_cell(TINY)
+    assert cellcache.disk_cache_size() == 1
+    cells.clear_cache()                      # simulate a fresh process
+    reloaded = cells.run_cell(TINY)
+    assert reloaded == original
+    assert cells.cache_size() == 1           # served from disk, no rerun
+
+
+def test_cache_round_trip_in_fresh_process(fresh_cache):
+    traced = replace(TINY, traced_categories=(0,))
+    original = cells.run_cell(traced, keep_series=True)
+    script = (
+        "from dataclasses import replace\n"
+        "import pickle, sys\n"
+        "from repro.experiments import cellcache, cells\n"
+        "from repro.experiments.runner import ExperimentSettings\n"
+        f"cellcache.set_cache_dir({fresh_cache!r})\n"
+        "settings = replace(ExperimentSettings(paper_total=1525, scale=0.02,"
+        " seed=1, warmup=1.0, measure=3.0, grace=0.5),"
+        " traced_categories=(0,))\n"
+        "summary = cells.cached_cell(settings, keep_series=True)\n"
+        "assert summary is not None, 'disk cache missed in fresh process'\n"
+        "sys.stdout.buffer.write(pickle.dumps(summary))\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, check=True)
+    assert same_summary(pickle.loads(proc.stdout), original)
+
+
+def test_keep_series_upgrade_through_disk_cache(fresh_cache):
+    traced = replace(TINY, traced_categories=(0,))
+    without = cells.run_cell(traced)
+    assert without.traces[0].series == ()
+    cells.clear_cache()                      # only the series-free disk entry
+    upgraded = cells.run_cell(traced, keep_series=True)
+    assert upgraded.traces[0].series != ()
+    cells.clear_cache()
+    # The richer summary overwrote the disk entry; both request styles hit it.
+    assert cells.run_cell(traced, keep_series=True).traces[0].series != ()
+    assert same_summary(cells.run_cell(traced), upgraded)
+
+
+def test_cache_key_depends_on_settings_and_code_version(fresh_cache, monkeypatch):
+    key = cellcache.cache_key(TINY)
+    assert key == cellcache.cache_key(TINY)
+    assert key != cellcache.cache_key(replace(TINY, seed=2))
+    monkeypatch.setattr(cellcache, "_code_version", "somethingelse")
+    assert key != cellcache.cache_key(TINY)
+
+
+def test_corrupt_cache_entry_is_a_miss(fresh_cache):
+    original = cells.run_cell(TINY)
+    path = os.path.join(fresh_cache, cellcache.cache_key(TINY) + ".pkl")
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+    cells.clear_cache()
+    recovered = cells.run_cell(TINY)         # rerun, re-persisted
+    assert recovered == original
+    assert cellcache.disk_cache_size() == 1
+
+
+def test_clear_disk_cache(fresh_cache):
+    cells.run_cell(TINY)
+    cells.run_cell(replace(TINY, seed=2))
+    assert cellcache.disk_cache_size() == 2
+    assert cellcache.clear_disk_cache() == 2
+    assert cellcache.disk_cache_size() == 0
+
+
+def test_disabled_cache_never_touches_disk(fresh_cache):
+    cellcache.set_cache_dir(None)
+    assert not cellcache.enabled()
+    summary = cells.run_cell(TINY)
+    assert summary is not None
+    assert cellcache.disk_cache_size() == 0
+    assert cellcache.load_cell(TINY) is None

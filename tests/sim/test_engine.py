@@ -161,6 +161,73 @@ def test_run_without_horizon_stops_at_last_event():
     assert engine.run() == 1.25
 
 
+def test_pending_events_is_counter_based():
+    engine = Engine()
+    handles = [engine.call_after(float(n + 1), lambda: None) for n in range(10)]
+    for handle in handles[:4]:
+        handle.cancel()
+    assert engine.pending_events() == 6
+    # Double-cancel must not double-count.
+    handles[0].cancel()
+    assert engine.pending_events() == 6
+    engine.run()
+    assert engine.pending_events() == 0
+    assert engine._cancelled == 0
+
+
+def test_cancel_after_execution_does_not_corrupt_counter():
+    engine = Engine()
+    handle = engine.call_after(1.0, lambda: None)
+    engine.run()
+    handle.cancel()          # late cancel of an already-executed call
+    assert engine.pending_events() == 0
+    assert engine._cancelled == 0
+
+
+def test_peek_time_evicts_cancelled_heads():
+    engine = Engine()
+    first = engine.call_after(1.0, lambda: None)
+    second = engine.call_after(2.0, lambda: None)
+    engine.call_after(3.0, lambda: None)
+    first.cancel()
+    second.cancel()
+    assert engine.peek_time() == 3.0
+    # The cancelled heads were physically removed, counter reconciled.
+    assert len(engine._heap) == 1
+    assert engine._cancelled == 0
+    assert engine.peek_time() == 3.0
+
+
+def test_heap_compacts_when_cancellations_dominate():
+    engine = Engine()
+    keep = [engine.call_after(1000.0 + n, lambda: None) for n in range(10)]
+    doomed = [engine.call_after(float(n + 1), lambda: None) for n in range(200)]
+    for handle in doomed:
+        handle.cancel()
+    # Compaction triggered inside cancel(): most tombstones are physically
+    # gone (a sub-threshold tail may remain) and the counter reconciles.
+    assert len(engine._heap) < len(keep) + len(doomed) // 2
+    assert engine._cancelled < engine._COMPACT_MIN
+    assert engine.pending_events() == len(keep)
+    seen = []
+    engine.call_after(999.0, seen.append, "sentinel")
+    engine.run()
+    assert seen == ["sentinel"]
+
+
+def test_compaction_preserves_tie_order():
+    engine = Engine()
+    seen = []
+    doomed = [engine.call_after(0.5, lambda: None) for _ in range(200)]
+    for tag in range(5):
+        engine.call_at(1.0, seen.append, tag)
+    for handle in doomed:
+        handle.cancel()
+    assert len(engine._heap) < 105   # compacted at least once
+    engine.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
 def test_reentrant_run_is_rejected():
     engine = Engine()
 

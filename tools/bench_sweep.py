@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Time a small fixed sweep through the parallel executor and cell cache.
+
+Runs the same 2-policy x 3-seed x {crash, fault-free} sweep (12 cells)
+four ways — serial cold, parallel cold, parallel warm-memory, and
+warm-disk in a fresh cache pass — and writes ``BENCH_sweep.json`` at the
+repo root so later PRs can track the perf trajectory.  The sweep runs in
+a throwaway cache directory: it never reads from or writes to
+``benchmarks/.cellcache/``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sweep.py [--jobs N] [--out PATH]
+
+``--jobs`` defaults to ``min(4, cpu_count)``.  Speedups are hardware
+dependent; on a single-core container the parallel pass will not beat
+serial, and the JSON records whatever was measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.core.policy import FCFS_MINUS, FRAME                   # noqa: E402
+from repro.experiments import cellcache, cells                    # noqa: E402
+from repro.experiments.parallel import run_cells                  # noqa: E402
+from repro.experiments.runner import ExperimentSettings           # noqa: E402
+
+BASE = ExperimentSettings(paper_total=4525, scale=0.05,
+                          warmup=1.0, measure=4.0, grace=0.5)
+SWEEP = [replace(BASE, policy=policy, seed=seed, crash_at=crash_at)
+         for policy in (FRAME, FCFS_MINUS)
+         for seed in (0, 1, 2)
+         for crash_at in (None, BASE.measure / 2.0)]
+
+
+def _timed(label: str, fn) -> float:
+    start = time.perf_counter()
+    fn()
+    elapsed = time.perf_counter() - start
+    print(f"  {label:<24s} {elapsed:8.3f} s")
+    return elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int,
+                        default=max(2, min(4, os.cpu_count() or 1)),
+                        help="workers for the parallel passes (default: "
+                             "min(4, cpu_count), at least 2 so the pool "
+                             "is exercised even on one core)")
+    parser.add_argument("--out", type=str,
+                        default=os.path.join(os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))), "BENCH_sweep.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    cache_root = tempfile.mkdtemp(prefix="bench-cellcache-")
+    cellcache.set_cache_dir(cache_root)
+    print(f"bench_sweep: {len(SWEEP)} cells, jobs={args.jobs}, "
+          f"cpus={os.cpu_count()}")
+    try:
+        cells.clear_cache()
+        cellcache.clear_disk_cache()
+        serial_cold = _timed("serial cold",
+                             lambda: run_cells(SWEEP, jobs=1))
+
+        cells.clear_cache()
+        cellcache.clear_disk_cache()
+        parallel_cold = _timed(f"parallel cold (x{args.jobs})",
+                               lambda: run_cells(SWEEP, jobs=args.jobs))
+
+        warm_memory = _timed("warm (memory)",
+                             lambda: run_cells(SWEEP, jobs=args.jobs))
+
+        cells.clear_cache()          # fresh-process equivalent: disk only
+        warm_disk = _timed("warm (disk)",
+                           lambda: run_cells(SWEEP, jobs=args.jobs))
+    finally:
+        cellcache.set_cache_dir(None)
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    report = {
+        "sweep": {
+            "cells": len(SWEEP),
+            "paper_total": BASE.paper_total,
+            "scale": BASE.scale,
+            "policies": ["FRAME", "FCFS-"],
+            "seeds": 3,
+        },
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "seconds": {
+            "serial_cold": round(serial_cold, 4),
+            "parallel_cold": round(parallel_cold, 4),
+            "warm_memory": round(warm_memory, 4),
+            "warm_disk": round(warm_disk, 4),
+        },
+        "speedup": {
+            "parallel_vs_serial": round(serial_cold / parallel_cold, 3),
+            "warm_disk_vs_serial_cold": round(serial_cold / warm_disk, 1),
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    print(f"  parallel speedup : {report['speedup']['parallel_vs_serial']}x")
+    print(f"  warm-disk speedup: "
+          f"{report['speedup']['warm_disk_vs_serial_cold']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
