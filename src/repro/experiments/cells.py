@@ -48,6 +48,11 @@ class CellSummary:
     utilizations: Dict[str, float]
     traces: Dict[int, TraceSummary] = field(default_factory=dict)
     broker_counters: Dict[str, int] = field(default_factory=dict)
+    #: Whether the summary was reduced with ``keep_series=True``.  This is
+    #: recorded explicitly because an *empty* series is not evidence of
+    #: reduction: a traced topic may legitimately deliver zero messages,
+    #: and such a cell must still satisfy a ``keep_series=True`` recall.
+    series_kept: bool = False
 
 
 def summarize(result: RunResult, keep_series: bool = False) -> CellSummary:
@@ -94,6 +99,7 @@ def summarize(result: RunResult, keep_series: bool = False) -> CellSummary:
         utilizations=result.utilizations(),
         traces=traces,
         broker_counters=counters,
+        series_kept=keep_series,
     )
 
 
@@ -139,7 +145,7 @@ def run_cell(settings: ExperimentSettings, keep_series: bool = False) -> CellSum
 
 
 def _has_series(summary: CellSummary) -> bool:
-    return all(trace.series for trace in summary.traces.values()) or not summary.traces
+    return summary.series_kept or not summary.traces
 
 
 def clear_cache() -> None:

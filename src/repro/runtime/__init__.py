@@ -16,7 +16,8 @@ on real sockets.
 """
 
 from repro.runtime.broker import BrokerServer, RuntimeBrokerConfig
-from repro.runtime.client import Publisher, Subscriber
+from repro.runtime.client import Publisher, Subscriber, fetch_stats
+from repro.runtime.peerlink import PeerLink
 from repro.runtime.wire import (
     MAX_FRAME_BYTES,
     decode_message,
@@ -28,11 +29,13 @@ from repro.runtime.wire import (
 __all__ = [
     "BrokerServer",
     "MAX_FRAME_BYTES",
+    "PeerLink",
     "Publisher",
     "RuntimeBrokerConfig",
     "Subscriber",
     "decode_message",
     "encode_message",
+    "fetch_stats",
     "read_frame",
     "write_frame",
 ]

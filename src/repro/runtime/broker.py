@@ -10,6 +10,22 @@ The scheduling core mirrors :mod:`repro.core.broker`: per-topic pseudo
 deadlines are precomputed from the same Lemma 1/2 functions, each arrival
 spawns dispatch/replication jobs with absolute deadlines, and a worker
 pool pops an EDF heap.  Deadlines here are wall-clock (``time.time()``).
+
+Hardening (beyond the first runtime cut):
+
+* The Primary→Backup connection is owned by a supervised
+  :class:`~repro.runtime.peerlink.PeerLink` — automatic reconnection with
+  exponential backoff + jitter, a bounded queued-or-dropped frame queue
+  during outages, and re-protection on reconnect (in-flight non-dispatched
+  entries are resynchronized with the possibly-fresh Backup, the runtime
+  counterpart of the simulator's ``Broker.attach_peer``).
+* Delivery workers are crash-contained: any per-job exception is logged
+  and counted instead of killing the worker, and a supervisor respawns a
+  worker task that dies anyway.
+* The journal is serialized behind an ``asyncio.Lock`` so concurrent
+  workers cannot interleave records.
+* ``snapshot()`` exposes per-topic counters, deadline-miss and latency
+  accounting, peer-link state, and worker health.
 """
 
 from __future__ import annotations
@@ -30,6 +46,7 @@ from repro.core.timing import (
     pseudo_dispatch_deadline,
     pseudo_replication_deadline,
 )
+from repro.runtime.peerlink import PeerLink
 from repro.runtime.wire import (
     ProtocolError,
     decode_message,
@@ -70,6 +87,17 @@ class RuntimeBrokerConfig:
     recover_journal: bool = False
     #: Grace before replay begins, letting subscribers reconnect first.
     journal_recovery_delay: float = 0.5
+    #: Peer-link supervision knobs (see :mod:`repro.runtime.peerlink`).
+    peer_backoff_initial: float = 0.05
+    peer_backoff_max: float = 2.0
+    peer_backoff_factor: float = 2.0
+    peer_backoff_jitter: float = 0.1
+    #: Bound on replica/prune frames queued while the Backup is away;
+    #: beyond it the oldest queued frame is dropped (and counted).
+    peer_queue_limit: int = 256
+    #: Resynchronize in-flight non-dispatched entries whenever the peer
+    #: link (re)connects — runtime re-protection.
+    peer_resync_on_reconnect: bool = True
 
 
 class _Entry:
@@ -108,11 +136,13 @@ class BrokerServer:
         self._subscribers: Dict[int, Set[asyncio.StreamWriter]] = {}
         self._entries: Dict[Tuple[int, int], _Entry] = {}
         self.backup_buffer = BackupBuffer(config.backup_buffer_capacity)
-        self._peer_writer: Optional[asyncio.StreamWriter] = None
+        self._peer_link: Optional[PeerLink] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._tasks: List[asyncio.Task] = []
+        self._worker_tasks: Set[asyncio.Task] = set()
         self._connections: Set[asyncio.StreamWriter] = set()
         self._journal = None
+        self._journal_lock = asyncio.Lock()
         if config.policy.disk_logging:
             if config.journal_path is None:
                 logger.warning("%s: disk_logging policy without journal_path; "
@@ -120,6 +150,7 @@ class BrokerServer:
             else:
                 self._journal = open(config.journal_path, "ab")
         self._closed = False
+        self._started_at = time.time()
         self.promoted = asyncio.Event()
         # Counters (mirroring the simulator's BrokerStats).
         self.dispatched = 0
@@ -129,6 +160,18 @@ class BrokerServer:
         self.replications_aborted = 0
         self.recovery_dispatched = 0
         self.recovery_skipped = 0
+        # Hardening / observability counters.
+        self.deadline_misses = 0
+        self.worker_errors = 0
+        self.workers_respawned = 0
+        self.peer_resyncs = 0
+        self._latency_count = 0
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+        self._topic_counters: Dict[int, Dict[str, int]] = {
+            topic_id: {"dispatched": 0, "replicated": 0, "deadline_misses": 0}
+            for topic_id in config.topics
+        }
 
     # ------------------------------------------------------------------
     def _build_plan(self) -> Dict[int, Tuple[float, Optional[float]]]:
@@ -156,10 +199,11 @@ class BrokerServer:
                                                   self.host, self.port)
         if self._server.sockets:
             self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
         for _ in range(self.config.dispatch_workers):
-            self._tasks.append(asyncio.create_task(self._worker()))
+            self._spawn_worker()
         if self.role == PRIMARY and self.config.peer_address:
-            self._tasks.append(asyncio.create_task(self._connect_peer()))
+            await self._start_peer_link(self.config.peer_address)
         if self.role == BACKUP and self.config.watch_address:
             self._tasks.append(asyncio.create_task(self._watch_primary()))
         if self.config.recover_journal and self.config.journal_path:
@@ -171,9 +215,12 @@ class BrokerServer:
         """Stop serving and sever every connection (fail-stop semantics:
         a crashed broker must stop answering liveness pings immediately)."""
         self._closed = True
-        for task in self._tasks:
+        if self._peer_link is not None:
+            await self._peer_link.stop()
+        tasks = self._tasks + list(self._worker_tasks)
+        for task in tasks:
             task.cancel()
-        for task in self._tasks:
+        for task in tasks:
             try:
                 await task
             except (asyncio.CancelledError, Exception):
@@ -184,8 +231,6 @@ class BrokerServer:
         for writer in list(self._connections):
             writer.close()
         self._connections.clear()
-        if self._peer_writer is not None:
-            self._peer_writer.close()
         if self._journal is not None:
             self._journal.close()
             self._journal = None
@@ -193,6 +238,11 @@ class BrokerServer:
     @property
     def address(self) -> Tuple[str, int]:
         return (self.host, self.port)
+
+    @property
+    def peer_link(self) -> Optional[PeerLink]:
+        """The supervised Primary→Backup link (``None`` on a Backup)."""
+        return self._peer_link
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -231,7 +281,14 @@ class BrokerServer:
             await write_frame(writer, {"type": "subscribed"})
         elif kind == "replica":
             message = decode_message(frame["message"])
-            self.backup_buffer.store(message, arrived_at=time.time())
+            # Honor the Primary's arrival stamp so recovery ordering and
+            # latency accounting stay consistent across hosts; fall back
+            # to local time only when the frame omits it.
+            arrived_at = frame.get("arrived_at")
+            self.backup_buffer.store(
+                message,
+                arrived_at=(float(arrived_at) if arrived_at is not None
+                            else time.time()))
         elif kind == "prune":
             if self.backup_buffer.prune(int(frame["topic"]), int(frame["seq"])):
                 self.prunes_applied += 1
@@ -247,6 +304,7 @@ class BrokerServer:
         return {
             "name": self.name,
             "role": self.role,
+            "uptime": round(time.time() - self._started_at, 6),
             "dispatched": self.dispatched,
             "replicated": self.replicated,
             "prunes_sent": self.prunes_sent,
@@ -254,6 +312,24 @@ class BrokerServer:
             "replications_aborted": self.replications_aborted,
             "recovery_dispatched": self.recovery_dispatched,
             "recovery_skipped": self.recovery_skipped,
+            "deadline_misses": self.deadline_misses,
+            "dispatch_latency": {
+                "count": self._latency_count,
+                "mean": (self._latency_sum / self._latency_count
+                         if self._latency_count else None),
+                "max": self._latency_max if self._latency_count else None,
+            },
+            "per_topic": {str(topic_id): dict(counters)
+                          for topic_id, counters in self._topic_counters.items()},
+            "peer_link": (self._peer_link.stats()
+                          if self._peer_link is not None else None),
+            "peer_resyncs": self.peer_resyncs,
+            "workers": {
+                "configured": self.config.dispatch_workers,
+                "alive": len(self._worker_tasks),
+                "errors": self.worker_errors,
+                "respawned": self.workers_respawned,
+            },
             "queued_jobs": len(self._heap),
             "backup_copies": self.backup_buffer.total_count(),
             "backup_copies_live": self.backup_buffer.live_count(),
@@ -275,7 +351,11 @@ class BrokerServer:
         if key in self._entries:
             return
         pseudo_dd, pseudo_dr = plan
-        can_replicate = self._peer_writer is not None and self.role == PRIMARY
+        # The supervised link makes replication capability a property of
+        # having a peer at all, not of the socket being up right now:
+        # frames sent during an outage are queued and the reconnect
+        # resync covers the rest.
+        can_replicate = self._peer_link is not None and self.role == PRIMARY
         entry = _Entry(message, arrived_at,
                        wants_replication=pseudo_dr is not None and can_replicate,
                        recovered=resend)
@@ -303,33 +383,71 @@ class BrokerServer:
         self._heap_event.set()
 
     # ------------------------------------------------------------------
-    # Message Delivery workers
+    # Message Delivery workers (crash-contained, supervised)
     # ------------------------------------------------------------------
+    def _spawn_worker(self) -> None:
+        task = asyncio.create_task(self._worker())
+        self._worker_tasks.add(task)
+        task.add_done_callback(self._on_worker_exit)
+
+    def _on_worker_exit(self, task: asyncio.Task) -> None:
+        """Supervision: a delivery worker must never silently die."""
+        self._worker_tasks.discard(task)
+        if self._closed or task.cancelled():
+            return
+        try:
+            exc = task.exception()
+        except asyncio.CancelledError:   # pragma: no cover - defensive
+            return
+        if exc is not None:
+            logger.error("%s: delivery worker died (%r); respawning",
+                         self.name, exc)
+        else:
+            logger.error("%s: delivery worker exited early; respawning",
+                         self.name)
+        self.workers_respawned += 1
+        self._spawn_worker()
+
     async def _worker(self) -> None:
         coordination = self.config.policy.coordination
         while not self._closed:
             while not self._heap:
                 self._heap_event.clear()
                 await self._heap_event.wait()
-            _, _, kind, entry = heapq.heappop(self._heap)
+            deadline, _, kind, entry = heapq.heappop(self._heap)
             try:
                 if kind == _DISPATCH:
-                    await self._do_dispatch(entry, coordination)
+                    await self._do_dispatch(entry, coordination, deadline)
                 else:
                     await self._do_replicate(entry, coordination)
-            except (ConnectionResetError, ProtocolError) as exc:
+            except asyncio.CancelledError:
+                raise
+            except (OSError, ProtocolError) as exc:
+                # Expected churn: a dead subscriber or peer raises
+                # BrokenPipeError/ConnectionResetError/... — contain it.
+                self.worker_errors += 1
                 logger.warning("%s: delivery error: %s", self.name, exc)
-            self._maybe_release(entry)
+            except Exception:
+                self.worker_errors += 1
+                logger.exception("%s: delivery worker error contained",
+                                 self.name)
+            finally:
+                self._maybe_release(entry)
 
-    async def _do_dispatch(self, entry: _Entry, coordination: bool) -> None:
+    async def _do_dispatch(self, entry: _Entry, coordination: bool,
+                           deadline: float) -> None:
         if entry.dispatched:
             return
         message = entry.message
         if self._journal is not None and not entry.recovered:
             # The Table 1 "local disk" strategy: journal synchronously
             # (write + fsync) before the message leaves the broker.
-            # Replayed/resent messages are already on disk.
-            await asyncio.to_thread(self._journal_write, message)
+            # Replayed/resent messages are already on disk.  The lock
+            # serializes workers onto the shared handle so records can
+            # never interleave.
+            async with self._journal_lock:
+                if self._journal is not None:
+                    await asyncio.to_thread(self._journal_write, message)
         frame = {"type": "deliver", "message": encode_message(message)}
         for writer in list(self._subscribers.get(message.topic_id, ())):
             try:
@@ -338,29 +456,53 @@ class BrokerServer:
                 self._subscribers[message.topic_id].discard(writer)
         entry.dispatched = True
         self.dispatched += 1
+        now = time.time()
+        counters = self._topic_counters.get(message.topic_id)
+        if counters is not None:
+            counters["dispatched"] += 1
+        if self.config.policy.scheduling != ARRIVAL_ORDER and now > deadline:
+            self.deadline_misses += 1
+            if counters is not None:
+                counters["deadline_misses"] += 1
+        if not entry.recovered:
+            latency = max(0.0, now - message.created_at)
+            self._latency_count += 1
+            self._latency_sum += latency
+            if latency > self._latency_max:
+                self._latency_max = latency
         if coordination and not entry.replicated and entry.wants_replication:
             entry.cancelled_replication = True   # Table 3: abort at pop
-        if coordination and entry.replicated and self._peer_writer is not None:
-            await write_frame(self._peer_writer, {
+        if coordination and entry.replicated and self._peer_link is not None:
+            await self._peer_link.send({
                 "type": "prune", "topic": message.topic_id, "seq": message.seq})
             self.prunes_sent += 1
 
     async def _do_replicate(self, entry: _Entry, coordination: bool) -> None:
+        if entry.replicated:
+            return   # resync can double-queue a job; replicate once
         if coordination and (entry.dispatched or entry.cancelled_replication):
             self.replications_aborted += 1
             return
-        if self._peer_writer is None:
+        link = self._peer_link
+        if link is None:
             return
         message = entry.message
-        await write_frame(self._peer_writer, {
+        sent = await link.send({
             "type": "replica",
             "message": encode_message(message),
             "arrived_at": entry.arrived_at,
         })
+        if not sent:
+            # Queued (or dropped) while the Backup is away.  The entry
+            # stays un-replicated; the reconnect resync re-queues it.
+            return
         entry.replicated = True
         self.replicated += 1
+        counters = self._topic_counters.get(message.topic_id)
+        if counters is not None:
+            counters["replicated"] += 1
         if coordination and entry.dispatched:
-            await write_frame(self._peer_writer, {
+            await link.send({
                 "type": "prune", "topic": message.topic_id, "seq": message.seq})
             self.prunes_sent += 1
 
@@ -412,18 +554,72 @@ class BrokerServer:
             self._entries.pop(entry.message.key(), None)
 
     # ------------------------------------------------------------------
-    # Peer link and promotion
+    # Peer link, re-protection, and promotion
     # ------------------------------------------------------------------
-    async def _connect_peer(self) -> None:
-        host, port = self.config.peer_address
-        while not self._closed and self._peer_writer is None:
-            try:
-                _, writer = await asyncio.open_connection(host, port)
-                await write_frame(writer, {"type": "hello", "role": "peer"})
-                self._peer_writer = writer
-                logger.info("%s: connected to backup %s:%d", self.name, host, port)
-            except OSError:
-                await asyncio.sleep(0.1)
+    async def _start_peer_link(self, address: Tuple[str, int]) -> None:
+        config = self.config
+        self._peer_link = PeerLink(
+            address, name=f"{self.name}/peer-link",
+            backoff_initial=config.peer_backoff_initial,
+            backoff_max=config.peer_backoff_max,
+            backoff_factor=config.peer_backoff_factor,
+            backoff_jitter=config.peer_backoff_jitter,
+            queue_limit=config.peer_queue_limit,
+            on_connected=self._on_peer_connected,
+        )
+        await self._peer_link.start()
+
+    async def _on_peer_connected(self, first: bool) -> None:
+        if self.config.peer_resync_on_reconnect:
+            self._resync_with_peer(initial=first)
+
+    def _resync_with_peer(self, initial: bool = False) -> int:
+        """Re-queue replication for in-flight entries after a (re)connect.
+
+        Mirrors the simulator's ``Broker.attach_peer`` resync: every
+        non-dispatched, non-discarded entry of a replication-needing topic
+        gets a fresh replication job — a restarted Backup starts with an
+        empty buffer, so previously-queued copies may be gone.  Dispatched
+        entries need no replica (Table 3's own argument).
+        """
+        resynced = 0
+        for entry in list(self._entries.values()):
+            if entry.dispatched or entry.replicated or entry.cancelled_replication:
+                continue
+            pseudo_dr = self._plan.get(entry.message.topic_id, (None, None))[1]
+            if pseudo_dr is None:
+                continue
+            entry.wants_replication = True
+            if self.config.policy.scheduling == ARRIVAL_ORDER:
+                deadline = entry.arrived_at
+            else:
+                delta_pb = max(0.0, entry.arrived_at - entry.message.created_at)
+                deadline = entry.arrived_at + pseudo_dr - delta_pb
+            self._push(deadline, _REPLICATE, entry)
+            resynced += 1
+        if resynced:
+            self.peer_resyncs += resynced
+            logger.info("%s: resynchronized %d in-flight entries with peer%s",
+                        self.name, resynced,
+                        " (initial connect)" if initial else "")
+        return resynced
+
+    async def attach_peer(self, address: Tuple[str, int]) -> None:
+        """Runtime re-protection: adopt a (new) Backup at ``address``.
+
+        The paper's model tolerates exactly one broker failure; after
+        promotion the survivor runs unreplicated.  Attaching a freshly
+        provisioned Backup restores protection: the supervised link
+        connects (and keeps reconnecting), and on connect the in-flight
+        non-dispatched entries are resynchronized.
+        """
+        if self.role != PRIMARY:
+            raise RuntimeError("only a Primary can attach a Backup")
+        self.config.peer_address = (address[0], int(address[1]))
+        if self._peer_link is not None:
+            await self._peer_link.stop()
+            self._peer_link = None
+        await self._start_peer_link(self.config.peer_address)
 
     async def _watch_primary(self) -> None:
         host, port = self.config.watch_address

@@ -71,6 +71,8 @@ class Publisher:
         self._watch_task: Optional[asyncio.Task] = None
         self._periodic_tasks: List[asyncio.Task] = []
         self._lock = asyncio.Lock()
+        self.send_failures = 0
+        self.reconnects = 0
 
     @property
     def current_target(self) -> Address:
@@ -152,12 +154,25 @@ class Publisher:
             "messages": [encode_message(m) for m in batch],
         }
         async with self._lock:
-            if self._writer is None:
-                return
-            try:
-                await write_frame(self._writer, frame)
-            except (ConnectionResetError, OSError):
-                logger.warning("%s: send failed; batch retained", self.publisher_id)
+            # One transparent reconnect-and-retry: a broker restart (or an
+            # idle-connection drop) should cost one frame's latency, not a
+            # full fail-over.  A genuinely dead broker fails both attempts
+            # and the batch stays retained for the fail-over path.
+            for attempt in range(2):
+                if self._writer is None:
+                    try:
+                        await self._connect()
+                        self.reconnects += 1
+                    except OSError:
+                        break
+                try:
+                    await write_frame(self._writer, frame)
+                    return
+                except (ConnectionResetError, OSError):
+                    self._writer.close()
+                    self._writer = None
+            self.send_failures += 1
+            logger.warning("%s: send failed; batch retained", self.publisher_id)
 
     # ------------------------------------------------------------------
     async def _watch(self) -> None:
@@ -215,6 +230,7 @@ class Subscriber:
         self.name = name
         self.received: Dict[int, Dict[int, float]] = {t: {} for t in self.topics}
         self.duplicates = 0
+        self.reconnects = 0
         self._tasks: List[asyncio.Task] = []
         self._writers: List[asyncio.StreamWriter] = []
 
@@ -238,12 +254,16 @@ class Subscriber:
 
     async def _listen(self, address: Address) -> None:
         host, port = address
+        connected_before = False
         while True:
             try:
                 reader, writer = await asyncio.open_connection(host, port)
             except OSError:
                 await asyncio.sleep(0.1)
                 continue
+            if connected_before:
+                self.reconnects += 1
+            connected_before = True
             self._writers.append(writer)
             try:
                 await write_frame(writer, {"type": "hello", "role": "subscriber"})
@@ -258,6 +278,8 @@ class Subscriber:
                 pass
             finally:
                 writer.close()
+                if writer in self._writers:
+                    self._writers.remove(writer)
             await asyncio.sleep(0.1)   # reconnect (e.g. broker restarted)
 
     def _on_deliver(self, message: Message) -> None:

@@ -55,22 +55,18 @@ class LocalDeployment:
         self.backup: Optional[BrokerServer] = None
         self._publishers: List[Publisher] = []
         self._subscribers: List[Subscriber] = []
+        self._retired: List[BrokerServer] = []
         self._started = False
 
     # ------------------------------------------------------------------
     async def start(self) -> "LocalDeployment":
         if self._started:
             raise RuntimeError("deployment already started")
-        self.backup = BrokerServer(self.host, 0, RuntimeBrokerConfig(
-            topics=self.topics, policy=self.policy, params=self.params,
-            poll_interval=self.poll_interval, reply_timeout=self.reply_timeout,
-            miss_threshold=self.miss_threshold,
-        ), role=BACKUP, name="backup")
+        self.backup = BrokerServer(self.host, 0, self._broker_config(),
+                                   role=BACKUP, name="backup")
         await self.backup.start()
-        self.primary = BrokerServer(self.host, 0, RuntimeBrokerConfig(
-            topics=self.topics, policy=self.policy, params=self.params,
-            peer_address=self.backup.address,
-        ), role=PRIMARY, name="primary")
+        self.primary = BrokerServer(self.host, 0, self._broker_config(
+            peer_address=self.backup.address), role=PRIMARY, name="primary")
         await self.primary.start()
         self.backup.config.watch_address = self.primary.address
         self.backup._tasks.append(
@@ -84,10 +80,9 @@ class LocalDeployment:
             await publisher.close()
         for subscriber in self._subscribers:
             await subscriber.close()
-        if self.primary is not None:
-            await self.primary.close()
-        if self.backup is not None:
-            await self.backup.close()
+        for broker in [self.primary, self.backup] + self._retired:
+            if broker is not None and not broker._closed:
+                await broker.close()
         self._started = False
 
     async def __aenter__(self) -> "LocalDeployment":
@@ -135,6 +130,75 @@ class LocalDeployment:
         return subscriber
 
     # ------------------------------------------------------------------
+    # Chaos drills: crash/restart either broker, re-protect the survivor
+    # ------------------------------------------------------------------
+    def _broker_config(self, **overrides) -> RuntimeBrokerConfig:
+        base = dict(topics=self.topics, policy=self.policy, params=self.params,
+                    poll_interval=self.poll_interval,
+                    reply_timeout=self.reply_timeout,
+                    miss_threshold=self.miss_threshold)
+        base.update(overrides)
+        return RuntimeBrokerConfig(**base)
+
+    async def crash_backup(self) -> None:
+        """Fail-stop the Backup (the Primary's peer link starts retrying)."""
+        self._require_started()
+        await self.backup.close()
+
+    async def restart_backup(self, wait_for_reconnect: bool = True,
+                             timeout: float = 10.0) -> BrokerServer:
+        """Bring a fresh Backup up on the *same* address and wait for the
+        Primary's peer link to re-adopt it (runtime re-protection)."""
+        self._require_started()
+        old = self.backup
+        if not old._closed:
+            await old.close()
+        link = self.primary.peer_link if self.primary is not None else None
+        connects_before = link.connects if link is not None else 0
+        watch = (self.primary.address
+                 if self.primary is not None and not self.primary._closed
+                 else None)
+        self.backup = BrokerServer(self.host, old.port, self._broker_config(
+            watch_address=watch), role=BACKUP, name=old.name)
+        self._retired.append(old)
+        await self.backup.start()
+        if wait_for_reconnect and link is not None:
+            await self._wait_until(lambda: link.connects > connects_before,
+                                   timeout, "peer link did not reconnect")
+        return self.backup
+
+    async def attach_fresh_backup(self, wait_for_connect: bool = True,
+                                  timeout: float = 10.0) -> BrokerServer:
+        """Provision a brand-new Backup and attach it to the current
+        Primary — restores one-failure tolerance after a fail-over."""
+        self._require_started()
+        survivor = self.current_primary()
+        new_backup = BrokerServer(self.host, 0, self._broker_config(
+            watch_address=survivor.address), role=BACKUP,
+            name=f"backup-{len(self._retired) + 2}")
+        await new_backup.start()
+        await survivor.attach_peer(new_backup.address)
+        if wait_for_connect:
+            link = survivor.peer_link
+            await self._wait_until(lambda: link.connects > 0, timeout,
+                                   "peer link did not connect to new backup")
+        if survivor is self.backup:   # the survivor was the promoted Backup
+            self._retired.append(self.primary)
+            self.primary = survivor
+        else:
+            self._retired.append(self.backup)
+        self.backup = new_backup
+        return new_backup
+
+    @staticmethod
+    async def _wait_until(predicate, timeout: float, what: str,
+                          interval: float = 0.02) -> None:
+        deadline = asyncio.get_event_loop().time() + timeout
+        while not predicate():
+            if asyncio.get_event_loop().time() >= deadline:
+                raise asyncio.TimeoutError(what)
+            await asyncio.sleep(interval)
+
     async def crash_primary(self, wait_for_failover: bool = True,
                             timeout: float = 10.0) -> None:
         """Fail-stop the Primary; optionally wait until the Backup has

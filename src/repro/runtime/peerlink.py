@@ -1,0 +1,253 @@
+"""Supervised Primary→Backup connection: the peer link.
+
+The original runtime opened the peer connection once at startup and kept
+a bare ``StreamWriter``: a Backup blip lost the replication capability
+forever.  :class:`PeerLink` owns that connection as a supervised
+component instead:
+
+* **Automatic reconnection** with exponential backoff and jitter
+  (production edge brokers treat reconnection as a correctness feature,
+  not polish — see MigratoryData / Mez in PAPERS.md).
+* **Queued-or-dropped send policy while disconnected**: frames written
+  during an outage land in a bounded queue and are flushed on
+  reconnect; beyond the bound the *oldest* queued frame is dropped and
+  counted (replicas are soft state — the freshest copies matter most).
+* **Re-protection hook**: every (re)connection fires ``on_connected``
+  so the owning broker can resynchronize in-flight entries with the
+  (possibly freshly restarted, hence empty) Backup — the runtime
+  counterpart of the simulator's ``Broker.attach_peer``.
+* **Liveness**: a reader task watches the connection for EOF so a dead
+  Backup is detected immediately, not on the next replication write.
+
+All counters are exported through :meth:`stats` and surface in the
+broker's ``stats`` wire frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import random
+import time
+from collections import deque
+from typing import Any, Awaitable, Callable, Deque, Dict, Optional, Tuple
+
+from repro.runtime.wire import ProtocolError, read_frame, write_frame
+
+logger = logging.getLogger(__name__)
+
+DISCONNECTED = "disconnected"
+CONNECTING = "connecting"
+CONNECTED = "connected"
+
+
+class PeerLink:
+    """One supervised outbound connection to the peer (Backup) broker."""
+
+    def __init__(self, address: Tuple[str, int], name: str = "peer-link",
+                 backoff_initial: float = 0.05, backoff_max: float = 2.0,
+                 backoff_factor: float = 2.0, backoff_jitter: float = 0.1,
+                 queue_limit: int = 256,
+                 on_connected: Optional[Callable[[bool], Awaitable[None]]] = None):
+        if backoff_initial <= 0 or backoff_max < backoff_initial:
+            raise ValueError("backoff bounds must satisfy 0 < initial <= max")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue limit must be >= 0")
+        self.address = (address[0], int(address[1]))
+        self.name = name
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
+        self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
+        self.queue_limit = queue_limit
+        self.on_connected = on_connected
+        self.state = DISCONNECTED
+        self.connects = 0            # successful connection establishments
+        self.disconnects = 0         # established connections that dropped
+        self.connect_failures = 0    # failed connection attempts
+        self.frames_sent = 0
+        self.frames_queued = 0       # frames that entered the outage queue
+        self.frames_dropped = 0      # queued frames evicted by the bound
+        self.last_error: Optional[str] = None
+        self.last_connected_at: Optional[float] = None
+        self.last_disconnected_at: Optional[float] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._queue: Deque[Dict[str, Any]] = deque()
+        self._task: Optional[asyncio.Task] = None
+        self._connected_event = asyncio.Event()
+        self._retry_now = asyncio.Event()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    async def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("peer link already started")
+        self._task = asyncio.create_task(self._run())
+
+    async def stop(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+        self._drop_writer()
+        self.state = DISCONNECTED
+
+    def retarget(self, address: Tuple[str, int]) -> None:
+        """Point the link at a new peer address; reconnects on next cycle."""
+        self.address = (address[0], int(address[1]))
+        self._drop_writer()
+        self._retry_now.set()
+
+    async def wait_connected(self, timeout: float = 10.0) -> None:
+        await asyncio.wait_for(self._connected_event.wait(), timeout=timeout)
+
+    # ------------------------------------------------------------------
+    async def send(self, frame: Dict[str, Any]) -> bool:
+        """Write ``frame`` to the peer; queue it when disconnected.
+
+        Returns ``True`` only when the frame actually reached the socket
+        buffer — a queued or dropped frame returns ``False``, so callers
+        can keep honest "replicated" bookkeeping.
+        """
+        writer = self._writer
+        if writer is None:
+            self._enqueue(frame)
+            return False
+        try:
+            await write_frame(writer, frame)
+        except (OSError, ProtocolError) as exc:
+            self.last_error = str(exc) or type(exc).__name__
+            logger.warning("%s: peer write failed: %s", self.name, exc)
+            self._drop_writer()
+            self._retry_now.set()
+            self._enqueue(frame)
+            return False
+        self.frames_sent += 1
+        return True
+
+    def _enqueue(self, frame: Dict[str, Any]) -> None:
+        if self.queue_limit == 0:
+            self.frames_dropped += 1
+            return
+        while len(self._queue) >= self.queue_limit:
+            self._queue.popleft()
+            self.frames_dropped += 1
+        self._queue.append(frame)
+        self.frames_queued += 1
+
+    async def _flush_queue(self) -> int:
+        """Send everything queued during the outage, oldest first."""
+        flushed = 0
+        while self._queue:
+            writer = self._writer
+            if writer is None:
+                break
+            frame = self._queue.popleft()
+            try:
+                await write_frame(writer, frame)
+            except (OSError, ProtocolError) as exc:
+                self._queue.appendleft(frame)   # went down again; keep order
+                self.last_error = str(exc) or type(exc).__name__
+                self._drop_writer()
+                break
+            self.frames_sent += 1
+            flushed += 1
+        return flushed
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        backoff = self.backoff_initial
+        first = True
+        while not self._closed:
+            self.state = CONNECTING
+            try:
+                reader, writer = await asyncio.open_connection(*self.address)
+                await write_frame(writer, {"type": "hello", "role": "peer"})
+            except OSError as exc:
+                self.connect_failures += 1
+                self.last_error = str(exc) or type(exc).__name__
+                await self._sleep_backoff(backoff)
+                backoff = min(backoff * self.backoff_factor, self.backoff_max)
+                continue
+            self._writer = writer
+            self.state = CONNECTED
+            self.connects += 1
+            self.last_connected_at = time.time()
+            self._connected_event.set()
+            backoff = self.backoff_initial
+            logger.info("%s: connected to peer %s:%d%s", self.name,
+                        self.address[0], self.address[1],
+                        "" if first else " (reconnect)")
+            flushed = await self._flush_queue()
+            if flushed:
+                logger.info("%s: flushed %d queued frames", self.name, flushed)
+            if self.on_connected is not None and self._writer is not None:
+                try:
+                    await self.on_connected(first)
+                except Exception:
+                    logger.exception("%s: on_connected hook failed", self.name)
+            first = False
+            # Watch the connection for EOF / errors (liveness). Inbound
+            # frames (e.g. pongs) are drained and ignored.
+            try:
+                while self._writer is writer:
+                    frame = await read_frame(reader)
+                    if frame is None:
+                        break
+            except (OSError, ProtocolError):
+                pass
+            if not self._closed:
+                self.disconnects += 1
+                self.last_disconnected_at = time.time()
+                logger.warning("%s: peer connection lost", self.name)
+            self._drop_writer()
+
+    async def _sleep_backoff(self, backoff: float) -> None:
+        jitter = 1.0 + random.uniform(-self.backoff_jitter, self.backoff_jitter)
+        self._retry_now.clear()
+        try:
+            await asyncio.wait_for(self._retry_now.wait(),
+                                   timeout=max(0.0, backoff * jitter))
+        except asyncio.TimeoutError:
+            pass
+
+    def _drop_writer(self) -> None:
+        writer, self._writer = self._writer, None
+        self.state = DISCONNECTED
+        self._connected_event.clear()
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:   # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the broker's ``stats`` frame."""
+        return {
+            "address": list(self.address),
+            "state": self.state,
+            "connects": self.connects,
+            "reconnects": max(0, self.connects - 1),
+            "disconnects": self.disconnects,
+            "connect_failures": self.connect_failures,
+            "frames_sent": self.frames_sent,
+            "frames_queued": self.frames_queued,
+            "frames_dropped": self.frames_dropped,
+            "queue_depth": self.queue_depth,
+            "last_error": self.last_error,
+        }

@@ -55,17 +55,23 @@ async def write_frame(writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> No
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
-    """Read one frame; returns ``None`` on clean EOF."""
+    """Read one frame; returns ``None`` on clean EOF.
+
+    Any ``OSError`` while reading (reset, broken pipe, aborted, timed-out
+    keepalive, ...) means the connection is dead, which callers handle
+    exactly like EOF — so it is normalized to ``None`` rather than
+    leaking transport-specific exception types into every caller.
+    """
     try:
         header = await reader.readexactly(_LENGTH.size)
-    except (asyncio.IncompleteReadError, ConnectionResetError):
+    except (asyncio.IncompleteReadError, OSError):
         return None
     (length,) = _LENGTH.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds limit")
     try:
         data = await reader.readexactly(length)
-    except (asyncio.IncompleteReadError, ConnectionResetError):
+    except (asyncio.IncompleteReadError, OSError):
         return None
     try:
         frame = json.loads(data.decode("utf-8"))

@@ -169,7 +169,9 @@ class Engine:
                 call.fn(*call.args)
         finally:
             self._running = False
-        if until is not math.inf and self.now < until:
+        # math.isfinite, not an identity check against math.inf: a caller
+        # may pass float("inf"), which is a distinct object.
+        if math.isfinite(until) and self.now < until:
             self.now = until
         return self.now
 

@@ -203,3 +203,40 @@ def test_cli_plan_with_custom_topic_file(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "DEPLOYABLE" in out
     assert "rejected topics : 0" in out
+
+
+def test_summarize_records_series_reduction_flag():
+    cells.clear_cache()
+    traced = replace(TINY, traced_categories=(0,), seed=5)
+    without = cells.run_cell(traced)
+    assert not without.series_kept
+    kept = cells.run_cell(traced, keep_series=True)
+    assert kept.series_kept
+
+
+def test_zero_delivery_traced_cell_round_trips_with_keep_series():
+    """Regression: ``_has_series`` inferred reduction from non-empty
+    series tuples, so a cached cell whose traced topic legitimately
+    delivered zero messages re-simulated on every ``keep_series=True``
+    sweep.  The reduction is now recorded explicitly."""
+    from repro.experiments.cells import CellSummary, TraceSummary
+
+    cells.clear_cache()
+    settings = replace(TINY, traced_categories=(0,), seed=97)
+    empty_trace = TraceSummary(
+        category=0, peak_latency_before=float("nan"),
+        peak_latency_after=float("nan"), total_losses=0,
+        max_consecutive_losses=0, delivered=0, series=())
+    summary = CellSummary(
+        policy_name="FRAME", paper_total=TINY.paper_total, seed=97,
+        crashed=False, loss_by_row={}, latency_by_row={}, utilizations={},
+        traces={0: empty_trace}, broker_counters={}, series_kept=True)
+    cells.adopt_cell(settings, summary)
+    # In-memory recall: a zero-delivery series still satisfies keep_series.
+    assert cells.cached_cell(settings, keep_series=True) is summary
+    # Disk-cache round trip preserves the flag.
+    cells.clear_cache()
+    recalled = cells.cached_cell(settings, keep_series=True)
+    assert recalled is not None
+    assert recalled.series_kept
+    assert recalled.traces[0].delivered == 0

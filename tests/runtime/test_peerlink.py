@@ -1,0 +1,376 @@
+"""Peer-link supervision, re-protection, and worker containment tests.
+
+These cover the runtime-hardening layer: the supervised Primary→Backup
+link (reconnect + backoff + queued frames), runtime re-protection
+(re-adopting a restarted or freshly provisioned Backup), crash-contained
+delivery workers, and the expanded stats snapshot.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.policy import FCFS_MINUS
+from repro.runtime import BrokerServer, PeerLink, Publisher, Subscriber
+from repro.runtime.broker import BACKUP, RuntimeBrokerConfig
+from repro.runtime.client import fetch_stats
+from repro.runtime.deployment import LocalDeployment
+from repro.runtime.wire import read_frame, write_frame
+
+from tests.runtime.test_runtime import (
+    PARAMS,
+    replicated_topic,
+    start_pair,
+    wait_for,
+)
+
+
+# ----------------------------------------------------------------------
+# PeerLink unit behavior
+# ----------------------------------------------------------------------
+def test_peerlink_validates_knobs():
+    with pytest.raises(ValueError):
+        PeerLink(("127.0.0.1", 1), backoff_initial=0.0)
+    with pytest.raises(ValueError):
+        PeerLink(("127.0.0.1", 1), backoff_initial=2.0, backoff_max=1.0)
+    with pytest.raises(ValueError):
+        PeerLink(("127.0.0.1", 1), backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        PeerLink(("127.0.0.1", 1), queue_limit=-1)
+
+
+def test_peerlink_queue_bound_drops_oldest():
+    async def scenario():
+        link = PeerLink(("127.0.0.1", 1), queue_limit=2)
+        for index in range(4):
+            sent = await link.send({"type": "replica", "index": index})
+            assert not sent
+        assert link.frames_queued == 4
+        assert link.frames_dropped == 2
+        assert link.queue_depth == 2
+        assert [frame["index"] for frame in link._queue] == [2, 3]
+
+    asyncio.run(scenario())
+
+
+def test_peerlink_connects_late_and_flushes_queue_in_order():
+    async def scenario():
+        received = []
+
+        async def on_peer(reader, writer):
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                received.append(frame)
+
+        link = PeerLink(("127.0.0.1", 1), backoff_initial=0.02,
+                        backoff_max=0.05)
+        # Queue while nothing is listening yet.
+        for index in range(3):
+            await link.send({"type": "replica", "index": index})
+        await link.start()
+        await wait_for(lambda: link.connect_failures >= 1)   # backoff cycles
+        server = await asyncio.start_server(on_peer, "127.0.0.1", 0)
+        link.retarget(("127.0.0.1", server.sockets[0].getsockname()[1]))
+        await link.wait_connected(timeout=5.0)
+        ok = await wait_for(lambda: len(received) >= 4)
+        await link.stop()
+        server.close()
+        await server.wait_closed()
+        assert ok
+        assert received[0]["type"] == "hello"
+        assert [f["index"] for f in received[1:4]] == [0, 1, 2]
+        assert link.connect_failures >= 1
+        assert link.stats()["state"] == "disconnected"   # after stop()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# The chaos acceptance test: Backup blip under live publishers
+# ----------------------------------------------------------------------
+def test_backup_blip_reconnect_resync_zero_loss():
+    async def scenario():
+        spec = replicated_topic()
+        deployment = LocalDeployment([spec])
+        await deployment.start()
+        try:
+            subscriber = await deployment.add_subscriber()
+            publisher = await deployment.add_publisher()
+            link = deployment.primary.peer_link
+            assert link is not None
+
+            await publisher.publish({spec.topic_id: "before-1"})
+            await publisher.publish({spec.topic_id: "before-2"})
+            ok = await wait_for(
+                lambda: subscriber.delivered_seqs(spec.topic_id) == {1, 2})
+            assert ok
+
+            # SIGKILL-equivalent: fail-stop the Backup under live traffic.
+            await deployment.crash_backup()
+            await wait_for(lambda: not link.connected, timeout=5.0)
+
+            # Publishing continues; dispatch must not lose anything.
+            await publisher.publish({spec.topic_id: "during-1"})
+            await publisher.publish({spec.topic_id: "during-2"})
+            ok = await wait_for(
+                lambda: subscriber.delivered_seqs(spec.topic_id)
+                == {1, 2, 3, 4})
+            assert ok, "dispatch lost messages while the Backup was down"
+
+            # Restart the Backup on the same address: automatic
+            # reconnection + re-adoption.
+            await deployment.restart_backup(timeout=10.0)
+            assert link.connected
+            assert link.connects >= 2
+
+            # Replication capability is restored: new messages land in the
+            # *new* Backup's buffer.
+            await publisher.publish({spec.topic_id: "after-1"})
+            ok = await wait_for(
+                lambda: deployment.backup.backup_buffer.get(spec.topic_id, 5)
+                is not None, timeout=10.0)
+            assert ok, "replication did not resume after the Backup restart"
+
+            # Zero dispatched-message loss across the whole episode.
+            ok = await wait_for(
+                lambda: subscriber.delivered_seqs(spec.topic_id)
+                == {1, 2, 3, 4, 5})
+            assert ok
+
+            # The stats snapshot reflects the disconnect/reconnect episode.
+            stats = await fetch_stats(deployment.primary.address)
+            peer = stats["peer_link"]
+            assert peer is not None
+            assert peer["state"] == "connected"
+            assert peer["disconnects"] >= 1
+            assert peer["reconnects"] >= 1
+            assert stats["workers"]["alive"] == stats["workers"]["configured"]
+            assert stats["per_topic"][str(spec.topic_id)]["dispatched"] >= 5
+        finally:
+            await deployment.close()
+
+    asyncio.run(scenario())
+
+
+def test_replicas_queued_during_outage_are_flushed_on_reconnect():
+    """Without coordination (FCFS−) every message replicates, so replica
+    frames produced during the outage must be queued and delivered to the
+    restarted Backup."""
+    async def scenario():
+        spec = replicated_topic()
+        deployment = LocalDeployment([spec], policy=FCFS_MINUS)
+        await deployment.start()
+        try:
+            publisher = await deployment.add_publisher()
+            link = deployment.primary.peer_link
+            await publisher.publish({spec.topic_id: "up-1"})
+            ok = await wait_for(
+                lambda: deployment.backup.backup_buffer.get(spec.topic_id, 1)
+                is not None)
+            assert ok
+
+            await deployment.crash_backup()
+            await wait_for(lambda: not link.connected, timeout=5.0)
+            await publisher.publish({spec.topic_id: "down-1"})
+            await publisher.publish({spec.topic_id: "down-2"})
+            await wait_for(lambda: link.queue_depth > 0
+                           or link.frames_queued > 0, timeout=5.0)
+
+            await deployment.restart_backup(timeout=10.0)
+            ok = await wait_for(
+                lambda: deployment.backup.backup_buffer.get(spec.topic_id, 2)
+                is not None
+                and deployment.backup.backup_buffer.get(spec.topic_id, 3)
+                is not None, timeout=10.0)
+            assert ok, "queued replicas were not flushed to the new Backup"
+        finally:
+            await deployment.close()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Runtime re-protection after a fail-over (attach_peer counterpart)
+# ----------------------------------------------------------------------
+def test_attach_fresh_backup_restores_replication_after_failover():
+    async def scenario():
+        spec = replicated_topic()
+        deployment = LocalDeployment([spec])
+        await deployment.start()
+        try:
+            subscriber = await deployment.add_subscriber()
+            publisher = await deployment.add_publisher()
+            await publisher.publish({spec.topic_id: "pre-crash"})
+            await wait_for(
+                lambda: subscriber.delivered_seqs(spec.topic_id) == {1})
+
+            await deployment.crash_primary()
+            survivor = deployment.current_primary()
+            assert survivor.role == "primary"
+            assert survivor.peer_link is None   # one-failure model
+
+            fresh = await deployment.attach_fresh_backup(timeout=10.0)
+            assert survivor.peer_link is not None
+            assert survivor.peer_link.connected
+            assert deployment.backup is fresh
+            assert deployment.primary is survivor
+
+            await publisher.publish({spec.topic_id: "re-protected"})
+            ok = await wait_for(
+                lambda: fresh.backup_buffer.total_count() >= 1, timeout=10.0)
+            assert ok, "survivor did not replicate to the fresh Backup"
+            ok = await wait_for(
+                lambda: subscriber.delivered_seqs(spec.topic_id) >= {1, 2})
+            assert ok
+        finally:
+            await deployment.close()
+
+    asyncio.run(scenario())
+
+
+def test_attach_peer_rejected_on_backup_role():
+    async def scenario():
+        primary, backup = await start_pair([replicated_topic()])
+        try:
+            with pytest.raises(RuntimeError, match="only a Primary"):
+                await backup.attach_peer(primary.address)
+        finally:
+            await primary.close()
+            await backup.close()
+
+    asyncio.run(scenario())
+
+
+def test_resync_requeues_inflight_undispatched_entries():
+    """Unit check of the attach_peer/resync semantics on the broker."""
+    import time
+
+    from repro.core.model import Message
+
+    broker = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+        topics={0: replicated_topic()}, params=PARAMS,
+        peer_address=("127.0.0.1", 1)))
+    broker._peer_link = object()   # replication capability without sockets
+    now = time.time()
+    broker._ingest(Message(0, 1, now), arrived_at=now)
+    broker._ingest(Message(0, 2, now), arrived_at=now)
+    entry = broker._entries[(0, 1)]
+    entry.dispatched = True        # dispatched entries need no replica
+    heap_before = len(broker._heap)
+    resynced = broker._resync_with_peer()
+    assert resynced == 1
+    assert broker.peer_resyncs == 1
+    assert len(broker._heap) == heap_before + 1
+    assert broker._entries[(0, 2)].wants_replication
+
+
+# ----------------------------------------------------------------------
+# Worker containment and supervision
+# ----------------------------------------------------------------------
+def test_worker_survives_broken_pipe_and_keeps_delivering():
+    async def scenario():
+        spec = replicated_topic()
+        primary, backup = await start_pair([spec])
+        subscriber = Subscriber([spec.topic_id], primary.address, backup.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], primary.address, backup.address)
+        await publisher.start()
+
+        original = primary._do_dispatch
+
+        async def exploding(entry, coordination, deadline):
+            raise BrokenPipeError("peer went away mid-write")
+
+        primary._do_dispatch = exploding
+        await publisher.publish({spec.topic_id: "boom"})
+        ok = await wait_for(lambda: primary.worker_errors >= 1)
+        assert ok, "BrokenPipeError was not contained"
+        assert len(primary._worker_tasks) == primary.config.dispatch_workers
+
+        primary._do_dispatch = original
+        await publisher.publish({spec.topic_id: "fine"})
+        ok = await wait_for(
+            lambda: 2 in subscriber.delivered_seqs(spec.topic_id))
+        await publisher.close()
+        await subscriber.close()
+        await primary.close()
+        await backup.close()
+        assert ok, "pool stopped delivering after a contained error"
+
+    asyncio.run(scenario())
+
+
+def test_worker_respawns_after_unexpected_death():
+    class _WorkerBomb(BaseException):
+        """Escapes the Exception containment: simulates a worker dying."""
+
+    async def scenario():
+        spec = replicated_topic()
+        primary, backup = await start_pair([spec])
+        subscriber = Subscriber([spec.topic_id], primary.address, backup.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], primary.address, backup.address)
+        await publisher.start()
+
+        original = primary._do_dispatch
+
+        async def lethal(entry, coordination, deadline):
+            raise _WorkerBomb()
+
+        primary._do_dispatch = lethal
+        await publisher.publish({spec.topic_id: "kill-a-worker"})
+        ok = await wait_for(lambda: primary.workers_respawned >= 1)
+        assert ok, "dead worker was not respawned"
+        ok = await wait_for(lambda: len(primary._worker_tasks)
+                            == primary.config.dispatch_workers)
+        assert ok, "pool did not return to full strength"
+
+        primary._do_dispatch = original
+        await publisher.publish({spec.topic_id: "recovered"})
+        ok = await wait_for(
+            lambda: 2 in subscriber.delivered_seqs(spec.topic_id))
+        await publisher.close()
+        await subscriber.close()
+        await primary.close()
+        await backup.close()
+        assert ok
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Expanded stats snapshot
+# ----------------------------------------------------------------------
+def test_snapshot_exposes_hardening_surface():
+    async def scenario():
+        spec = replicated_topic()
+        primary, backup = await start_pair([spec])
+        subscriber = Subscriber([spec.topic_id], primary.address, backup.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], primary.address, backup.address)
+        await publisher.start()
+        await publisher.publish({spec.topic_id: "x"})
+        await wait_for(lambda: primary.dispatched >= 1)
+        stats = await fetch_stats(primary.address)
+        backup_stats = await fetch_stats(backup.address)
+        await publisher.close()
+        await subscriber.close()
+        await primary.close()
+        await backup.close()
+        assert stats["uptime"] > 0
+        assert stats["per_topic"][str(spec.topic_id)]["dispatched"] >= 1
+        assert stats["dispatch_latency"]["count"] >= 1
+        assert stats["dispatch_latency"]["mean"] >= 0.0
+        assert stats["deadline_misses"] >= 0
+        assert stats["peer_link"]["state"] == "connected"
+        assert stats["peer_link"]["frames_sent"] >= 1
+        assert stats["workers"]["configured"] == 4
+        assert stats["workers"]["alive"] == 4
+        assert backup_stats["peer_link"] is None   # Backups have no link
+
+    asyncio.run(scenario())

@@ -225,3 +225,117 @@ def test_publisher_validates_topics():
     publisher = Publisher([replicated_topic()], ("127.0.0.1", 1), ("127.0.0.1", 2))
     with pytest.raises(KeyError):
         asyncio.run(publisher.publish({99: "x"}))
+
+
+def test_replica_frame_preserves_primary_arrival_stamp():
+    """Regression: the Backup used to stamp replicas with its own clock,
+    skewing recovery ordering across hosts.  The frame's ``arrived_at``
+    must win; local time is only a fallback when the field is absent."""
+    import time
+
+    from repro.runtime.wire import write_frame
+
+    async def scenario():
+        spec = replicated_topic()
+        backup = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={spec.topic_id: spec}, params=PARAMS,
+        ), role=BACKUP, name="B2")
+        await backup.start()
+        _, writer = await asyncio.open_connection(*backup.address)
+        await write_frame(writer, {"type": "hello", "role": "peer"})
+        await write_frame(writer, {
+            "type": "replica",
+            "message": encode_message(Message(spec.topic_id, 1, 10.0)),
+            "arrived_at": 123.456,
+        })
+        await write_frame(writer, {   # no arrived_at: legacy peer
+            "type": "replica",
+            "message": encode_message(Message(spec.topic_id, 2, 10.0)),
+        })
+        ok = await wait_for(
+            lambda: backup.backup_buffer.get(spec.topic_id, 2) is not None)
+        stamped = backup.backup_buffer.get(spec.topic_id, 1)
+        fallback = backup.backup_buffer.get(spec.topic_id, 2)
+        writer.close()
+        await backup.close()
+        assert ok
+        assert stamped.arrived_at == 123.456
+        assert abs(fallback.arrived_at - time.time()) < 5.0
+
+    asyncio.run(scenario())
+
+
+def test_concurrent_journal_writes_never_interleave(tmp_path):
+    """Regression: ``_journal_write`` ran on ``asyncio.to_thread`` from
+    several workers against one shared handle with no lock.  With the
+    journal serialized, every record must parse and replay cleanly."""
+    import json
+    import time
+
+    from repro.core.policy import DISK_LOG
+    from repro.runtime.wire import write_frame
+
+    async def scenario():
+        specs = [replicated_topic(i) for i in range(4)]
+        journal = tmp_path / "journal.ndjson"
+        broker = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={s.topic_id: s for s in specs}, policy=DISK_LOG,
+            params=PARAMS, journal_path=str(journal),
+        ), name="J1")
+        await broker.start()
+        _, writer = await asyncio.open_connection(*broker.address)
+        now = time.time()
+        messages = [encode_message(Message(t, s, now))
+                    for t in range(4) for s in range(1, 11)]
+        await write_frame(writer, {"type": "publish", "messages": messages})
+        ok = await wait_for(lambda: broker.dispatched >= 40)
+        await broker.close()
+        writer.close()
+        assert ok
+        lines = journal.read_bytes().splitlines()
+        assert len(lines) == 40
+        records = [json.loads(line) for line in lines]   # all parse
+        keys = {(decode_message(r).topic_id, decode_message(r).seq)
+                for r in records}
+        assert keys == {(t, s) for t in range(4) for s in range(1, 11)}
+
+    asyncio.run(scenario())
+
+
+def test_worker_pool_survives_oserror_from_dead_subscriber():
+    """Regression: ``_worker`` caught only ``(ConnectionResetError,
+    ProtocolError)``; a ``BrokenPipeError`` (plain ``OSError`` subclass
+    outside that tuple) killed the worker task and silently shrank the
+    pool."""
+    async def scenario():
+        spec = replicated_topic()
+        primary, backup = await start_pair([spec])
+        subscriber = Subscriber([spec.topic_id], primary.address, backup.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], primary.address, backup.address)
+        await publisher.start()
+
+        original = primary._do_replicate
+
+        async def broken_pipe(entry, coordination):
+            raise BrokenPipeError("replica socket died mid-write")
+
+        primary._do_replicate = broken_pipe
+        await publisher.publish({spec.topic_id: "one"})
+        ok = await wait_for(lambda: primary.worker_errors >= 1)
+        assert ok
+        assert len(primary._worker_tasks) == primary.config.dispatch_workers
+        assert primary.workers_respawned == 0   # contained, not respawned
+
+        primary._do_replicate = original
+        await publisher.publish({spec.topic_id: "two"})
+        delivered = await wait_for(
+            lambda: subscriber.delivered_seqs(spec.topic_id) >= {1, 2})
+        await publisher.close()
+        await subscriber.close()
+        await primary.close()
+        await backup.close()
+        assert delivered
+
+    asyncio.run(scenario())

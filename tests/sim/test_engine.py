@@ -237,3 +237,29 @@ def test_reentrant_run_is_rejected():
 
     engine.call_soon(recurse)
     engine.run()
+
+
+def test_run_horizon_accepts_caller_constructed_infinity():
+    """Regression: ``until is not math.inf`` was an identity check, so a
+    caller-constructed ``float("inf")`` advanced the clock to infinity
+    when the heap drained."""
+    engine = Engine()
+    engine.call_at(1.5, lambda: None)
+    stopped = engine.run(float("inf"))
+    assert stopped == 1.5
+    assert engine.now == 1.5
+    assert math.isfinite(engine.now)
+
+
+def test_run_horizon_with_math_inf_spelling():
+    engine = Engine()
+    engine.call_at(1.5, lambda: None)
+    assert engine.run(math.inf) == 1.5
+    assert engine.now == 1.5
+
+
+def test_run_finite_horizon_still_advances_clock():
+    engine = Engine()
+    engine.call_at(1.0, lambda: None)
+    assert engine.run(5.0) == 5.0
+    assert engine.now == 5.0

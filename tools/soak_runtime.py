@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Chaos soak for the asyncio runtime: kill brokers, assert zero loss.
+
+Runs a live Primary/Backup deployment with periodic publishers, then
+repeatedly fail-stops the Backup and restarts it (SIGKILL-equivalent
+``close()``), asserting after every round that
+
+* the Primary's supervised peer link reconnected on its own,
+* replication resumed into the restarted Backup,
+* **zero dispatched-message loss**: every sequence number ever published
+  was delivered to the subscriber, and
+* the ``stats`` snapshot reflects the disconnect/reconnect episode.
+
+With ``--failover`` the drill ends by killing the Primary too: the
+Backup promotes, the publishers redirect, and a *fresh* Backup is
+attached to the survivor (runtime re-protection), restoring one-failure
+tolerance before a final round of traffic.
+
+The defaults are time-boxed for CI smoke use (a few seconds); raise
+``--rounds``/``--duration`` for a real soak.
+
+Run:  python tools/soak_runtime.py --rounds 3 --failover
+Exit: 0 on success, 1 on any violated invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import EDGE, TopicSpec  # noqa: E402
+from repro.runtime.client import fetch_stats  # noqa: E402
+from repro.runtime.deployment import LocalDeployment  # noqa: E402
+
+#: One replication-needing topic and one Proposition-1-suppressed topic,
+#: so the drill exercises both plan branches.
+TOPICS = [
+    TopicSpec(topic_id=0, period=3.0, deadline=5.0, loss_tolerance=0,
+              retention=1, destination=EDGE, category=2),
+    TopicSpec(topic_id=1, period=3.0, deadline=5.0, loss_tolerance=3,
+              retention=10, destination=EDGE, category=3),
+]
+
+
+class SoakError(AssertionError):
+    """An invariant the soak promised was violated."""
+
+
+async def wait_until(predicate, timeout: float, what: str,
+                     interval: float = 0.02) -> None:
+    deadline = asyncio.get_event_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_event_loop().time() >= deadline:
+            raise SoakError(what)
+        await asyncio.sleep(interval)
+
+
+async def publish_for(publisher, duration: float, period: float) -> None:
+    """Publish one message per topic every ``period`` for ``duration``."""
+    until = asyncio.get_event_loop().time() + duration
+    while asyncio.get_event_loop().time() < until:
+        await publisher.publish({spec.topic_id: f"t={time.time():.3f}"
+                                 for spec in TOPICS})
+        await asyncio.sleep(period)
+
+
+def published_seqs(publisher) -> dict:
+    return dict(publisher._seq)
+
+
+async def assert_zero_loss(publisher, subscriber, timeout: float) -> int:
+    """Every published sequence number must eventually be delivered."""
+    total = 0
+    for topic_id, high in published_seqs(publisher).items():
+        expected = set(range(1, high + 1))
+        await wait_until(
+            lambda t=topic_id, e=expected: subscriber.delivered_seqs(t) >= e,
+            timeout,
+            f"dispatch loss on topic {topic_id}: missing "
+            f"{sorted(expected - subscriber.delivered_seqs(topic_id))[:10]}")
+        total += high
+    return total
+
+
+async def soak(args) -> dict:
+    deployment = LocalDeployment(TOPICS, poll_interval=0.05,
+                                 reply_timeout=0.2, miss_threshold=3)
+    await deployment.start()
+    report = {"rounds": [], "failover": None}
+    try:
+        subscriber = await deployment.add_subscriber()
+        publisher = await deployment.add_publisher(publisher_id="soak")
+        link = deployment.primary.peer_link
+
+        await publish_for(publisher, args.duration, args.period)
+        await assert_zero_loss(publisher, subscriber, args.timeout)
+
+        for round_index in range(1, args.rounds + 1):
+            disconnects_before = link.disconnects
+            await deployment.crash_backup()
+            await wait_until(lambda: not link.connected, args.timeout,
+                             "peer link did not notice the Backup dying")
+            # Publishers stay live while the Backup is down.
+            await publish_for(publisher, args.duration, args.period)
+            await deployment.restart_backup(timeout=args.timeout)
+            await wait_until(lambda: link.connected, args.timeout,
+                             "peer link did not reconnect")
+            await publish_for(publisher, args.duration, args.period)
+            await wait_until(
+                lambda: deployment.backup.backup_buffer.total_count() > 0,
+                args.timeout,
+                "replication did not resume into the restarted Backup")
+            delivered = await assert_zero_loss(publisher, subscriber,
+                                               args.timeout)
+            report["rounds"].append({
+                "round": round_index,
+                "messages_verified": delivered,
+                "link_disconnects": link.disconnects - disconnects_before,
+                "queue_flushed": link.frames_queued,
+            })
+            print(f"round {round_index}: zero loss across Backup blip "
+                  f"({delivered} messages verified, "
+                  f"link connects={link.connects})")
+
+        stats = await fetch_stats(deployment.primary.address)
+        peer = stats["peer_link"]
+        if peer["disconnects"] < args.rounds:
+            raise SoakError(f"stats recorded {peer['disconnects']} "
+                            f"disconnects, expected >= {args.rounds}")
+        if peer["reconnects"] < args.rounds:
+            raise SoakError(f"stats recorded {peer['reconnects']} "
+                            f"reconnects, expected >= {args.rounds}")
+        if stats["workers"]["alive"] != stats["workers"]["configured"]:
+            raise SoakError(f"worker pool shrank: {stats['workers']}")
+        report["primary_stats"] = stats
+
+        if args.failover:
+            await deployment.crash_primary(timeout=args.timeout)
+            survivor = deployment.current_primary()
+            fresh = await deployment.attach_fresh_backup(timeout=args.timeout)
+            await publish_for(publisher, args.duration, args.period)
+            await wait_until(lambda: fresh.backup_buffer.total_count() > 0,
+                             args.timeout,
+                             "survivor did not replicate to the fresh Backup")
+            delivered = await assert_zero_loss(publisher, subscriber,
+                                               args.timeout)
+            survivor_stats = await fetch_stats(survivor.address)
+            report["failover"] = {
+                "messages_verified": delivered,
+                "survivor": survivor_stats["name"],
+                "recovery_dispatched": survivor_stats["recovery_dispatched"],
+                "peer_link": survivor_stats["peer_link"],
+            }
+            print(f"failover: survivor {survivor_stats['name']} re-protected "
+                  f"by a fresh Backup, zero loss ({delivered} messages)")
+
+        report["duplicates_suppressed"] = subscriber.duplicates
+        report["ok"] = True
+        return report
+    finally:
+        await deployment.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="Backup kill/restart rounds (default 3)")
+    parser.add_argument("--duration", type=float, default=0.5,
+                        help="seconds of publishing per phase (default 0.5)")
+    parser.add_argument("--period", type=float, default=0.05,
+                        help="publish period per topic (default 0.05 s)")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-wait timeout (default 10 s)")
+    parser.add_argument("--failover", action="store_true",
+                        help="end with a Primary crash + re-protection drill")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the soak report to this file")
+    args = parser.parse_args(argv)
+    started = time.time()
+    try:
+        report = asyncio.run(soak(args))
+    except SoakError as exc:
+        print(f"SOAK FAILED: {exc}", file=sys.stderr)
+        return 1
+    report["wall_seconds"] = round(time.time() - started, 3)
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2, default=str))
+    print(f"soak ok: {args.rounds} Backup blips"
+          f"{' + 1 failover' if args.failover else ''}, zero dispatch loss, "
+          f"{report['duplicates_suppressed']} duplicates suppressed, "
+          f"{report['wall_seconds']}s wall")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
