@@ -93,6 +93,15 @@ class PublisherProxy:
         self._targets = [primary_ingress, backup_ingress]
         self._target_index = 0
         self._retention = {spec.topic_id: RingBuffer(spec.retention) for spec in specs}
+        # Per-spec hot-path plan: (topic_id, retention ring, creation log).
+        # The creation log list is shared with ``stats.created`` so appends
+        # land directly in the authoritative log without a per-message
+        # ``setdefault``; ``len(log)`` is the next 1-based sequence number.
+        self._batch_plan = [
+            (spec.topic_id, self._retention[spec.topic_id],
+             self.stats.created.setdefault(spec.topic_id, []))
+            for spec in specs
+        ]
         self._rng = engine.rng(f"publisher/{publisher_id}")
 
         detector = FailureDetector(
@@ -125,14 +134,16 @@ class PublisherProxy:
     # ------------------------------------------------------------------
     def _create_batch(self) -> List[Message]:
         batch = []
+        append = batch.append
         created_at = self.host.now()
         true_time = self.engine.now
-        for spec in self.specs:
-            seq = self.stats.log_creation(spec.topic_id, true_time)
-            message = Message(spec.topic_id, seq, created_at,
-                              payload_size=self.payload_size)
-            self._retention[spec.topic_id].append(message)
-            batch.append(message)
+        payload_size = self.payload_size
+        for topic_id, retention, log in self._batch_plan:
+            log.append(true_time)
+            message = Message(topic_id, len(log), created_at,
+                              payload_size=payload_size)
+            retention.append(message)
+            append(message)
         return batch
 
     def _run(self):

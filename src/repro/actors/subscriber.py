@@ -8,10 +8,18 @@ computed.
 End-to-end latency is measured as ``local receive time - message creation
 stamp`` across two different host clocks, exactly like the testbed; clock
 synchronization error is therefore part of the measurement, not hidden.
+
+Hot-path design: the per-delivery record is two flat appends (sequence
+list + ``array('d')`` of latencies) plus one dedup set membership — no
+per-sequence dict writes.  The mapping view :attr:`SubscriberStats.
+latency_by_seq` that the metrics layer joins against is materialized
+lazily, once, when the measurement window closes (first read), and is
+invalidated if a delivery ever lands after a read.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, List, NamedTuple, Optional, Set
 
 from repro.core.protocol import Deliver
@@ -27,25 +35,68 @@ class TracedDelivery(NamedTuple):
     recovered: bool
 
 
+class _TopicLog:
+    """Flat per-topic delivery log: parallel seq/latency appends."""
+
+    __slots__ = ("seen", "seqs", "latencies")
+
+    def __init__(self):
+        self.seen: Set[int] = set()
+        self.seqs: List[int] = []
+        self.latencies = array("d")
+
+
 class SubscriberStats:
-    """Per-topic delivery records of one subscriber."""
+    """Per-topic delivery records of one subscriber.
+
+    Recording appends to flat per-topic logs; :attr:`latency_by_seq`
+    (``{topic_id: {seq: latency}}``) is the reduced mapping view, built on
+    first access and cached.  External code may freely mutate the view
+    (the fan-out aggregator and tests install per-topic dicts directly);
+    such writes live in the cached view and are honored by
+    :meth:`delivered_seqs` and :meth:`merge`.
+    """
 
     def __init__(self, traced_topics: Iterable[int] = ()):
-        self.latency_by_seq: Dict[int, Dict[int, float]] = {}
+        self._logs: Dict[int, _TopicLog] = {}
+        self._by_seq: Optional[Dict[int, Dict[int, float]]] = None
         self.duplicates = 0
         self.traced_topics: Set[int] = set(traced_topics)
         self.traces: Dict[int, List[TracedDelivery]] = {
             topic: [] for topic in self.traced_topics
         }
 
+    @property
+    def latency_by_seq(self) -> Dict[int, Dict[int, float]]:
+        """``{topic_id: {seq: latency}}``, reduced from the flat logs."""
+        by_seq = self._by_seq
+        if by_seq is None:
+            by_seq = self._by_seq = {
+                topic_id: dict(zip(log.seqs, log.latencies))
+                for topic_id, log in self._logs.items()
+            }
+        return by_seq
+
     def delivered_seqs(self, topic_id: int) -> Set[int]:
-        return set(self.latency_by_seq.get(topic_id, ()))
+        log = self._logs.get(topic_id)
+        if log is not None:
+            return set(log.seen)
+        if self._by_seq is not None:
+            return set(self._by_seq.get(topic_id, ()))
+        return set()
 
     def merge(self, other: "SubscriberStats") -> None:
+        mine = self.latency_by_seq
         for topic_id, records in other.latency_by_seq.items():
-            if topic_id in self.latency_by_seq:
+            if topic_id in mine:
                 raise ValueError(f"topic {topic_id} recorded by two subscribers")
-            self.latency_by_seq[topic_id] = records
+            mine[topic_id] = records
+            # Mirror into a flat log so the merged records survive a later
+            # view invalidation and feed delivered_seqs() directly.
+            log = self._logs[topic_id] = _TopicLog()
+            log.seen.update(records)
+            log.seqs.extend(records)
+            log.latencies.extend(records.values())
         self.duplicates += other.duplicates
         self.traced_topics |= other.traced_topics
         for topic_id, trace in other.traces.items():
@@ -64,21 +115,33 @@ class Subscriber:
         self.name = name
         self.address = f"{name}/sub"
         self.stats = stats if stats is not None else SubscriberStats(traced_topics)
+        self._logs = self.stats._logs
+        self._now = host.now
         network.register(host, self.address, self._on_deliver)
 
     def _on_deliver(self, deliver: Deliver) -> None:
         message = deliver.message
-        records = self.stats.latency_by_seq.setdefault(message.topic_id, {})
-        if message.seq in records:
-            self.stats.duplicates += 1
+        topic_id = message.topic_id
+        stats = self.stats
+        log = self._logs.get(topic_id)
+        if log is None:
+            log = self._logs[topic_id] = _TopicLog()
+        seq = message.seq
+        seen = log.seen
+        if seq in seen:
+            stats.duplicates += 1
             return
-        received_at = self.host.now()
+        seen.add(seq)
+        received_at = self._now()
         latency = received_at - message.created_at
-        records[message.seq] = latency
-        if message.topic_id in self.stats.traced_topics:
-            self.stats.traces[message.topic_id].append(
+        log.seqs.append(seq)
+        log.latencies.append(latency)
+        if stats._by_seq is not None:
+            stats._by_seq = None
+        if topic_id in stats.traced_topics:
+            stats.traces[topic_id].append(
                 TracedDelivery(
-                    seq=message.seq,
+                    seq=seq,
                     received_true_time=self.engine.now,
                     latency=latency,
                     delta_bs=received_at - deliver.dispatched_at,

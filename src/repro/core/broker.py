@@ -24,13 +24,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import SystemConfig
-from repro.core.coordination import (
-    MessageBuffer,
-    MessageEntry,
-    should_abort_replication,
-    should_cancel_pending_replication,
-    should_request_prune,
-)
+from repro.core.coordination import MessageBuffer, MessageEntry
 from repro.core.buffers import BackupBuffer
 from repro.core.model import Message
 from repro.core.policy import ARRIVAL_ORDER
@@ -113,6 +107,8 @@ class Broker:
         self.job_queue = EDFJobQueue(engine)
         self._proxy_queue = Queue(engine)
         self._fifo = config.policy.scheduling == ARRIVAL_ORDER
+        self._cost_dispatch = config.costs.dispatch
+        self._cost_replicate = config.costs.replicate
         self._plan = self._build_plan()
 
         network.register(host, self.ingress_address, self._on_ingress)
@@ -127,9 +123,18 @@ class Broker:
     # ------------------------------------------------------------------
     # Initialization: pseudo deadlines and the replication plan (Sec. IV-A)
     # ------------------------------------------------------------------
-    def _build_plan(self) -> Dict[int, Tuple[float, Optional[float]]]:
-        """Per topic: ``(Dd_i', Dr_i' or None when replication is suppressed)``."""
-        plan: Dict[int, Tuple[float, Optional[float]]] = {}
+    def _build_plan(self) -> Dict[int, Tuple[float, Optional[float], bool]]:
+        """Per topic: ``(Dd_i', Dr_i' or None, replicate-first flag)``.
+
+        Everything the Job Generator needs per message is a pure function
+        of the topic and the policy, so it is computed once here and the
+        per-message path does only arithmetic.  The replicate-first flag
+        (who runs first when workers are idle) depends only on the pseudo
+        deadlines' *difference*, which is per-topic constant: under EDF
+        both absolute deadlines share the same ``arrived_at`` offset, and
+        under FCFS both equal ``arrived_at`` (replication pushed first).
+        """
+        plan: Dict[int, Tuple[float, Optional[float], bool]] = {}
         policy = self.config.policy
         params = self.config.params
         for topic_id, spec in self.config.topics.items():
@@ -141,7 +146,9 @@ class Broker:
             else:
                 wants = True  # no differentiation: the baselines replicate everything
             pseudo_dr = pseudo_replication_deadline(spec, params) if wants else None
-            plan[topic_id] = (pseudo_dd, pseudo_dr)
+            replicate_first = (policy.replicate_before_dispatch or self._fifo
+                               or (pseudo_dr is not None and pseudo_dr <= pseudo_dd))
+            plan[topic_id] = (pseudo_dd, pseudo_dr, replicate_first)
         return plan
 
     # ------------------------------------------------------------------
@@ -167,25 +174,43 @@ class Broker:
     # Message Proxy module (one core)
     # ------------------------------------------------------------------
     def _proxy_process(self):
+        # Hot loop: busy accounting is inlined (no per-operation generator
+        # frame) and the fixed-cost Timeouts are allocated once and reused —
+        # a Timeout is immutable and subscription leaves no state on it.
+        engine = self.engine
         costs = self.config.costs
-        meter = self.stats.proxy_meter
+        stats = self.stats
+        meter = stats.proxy_meter
+        add_busy = meter.add_busy
+        backup_buffer = self.backup_buffer
+        per_message = costs.proxy_per_message
+        store_timeout = Timeout(costs.backup_store)
+        prune_timeout = Timeout(costs.backup_prune)
+        # One reused waitable: _QueueGet is immutable and subscription
+        # leaves no state on it.
+        get_wait = self._proxy_queue.get()
         while True:
-            kind, item, stamped_at = yield self._proxy_queue.get()
+            kind, item, stamped_at = yield get_wait
             if kind == _BATCH:
-                work = costs.proxy_per_message * len(item.messages)
-                yield from self._busy(meter, work)
+                start = engine.now
+                yield Timeout(per_message * len(item.messages))
+                add_busy(start, engine.now)
                 if item.resend:
                     self._ingest_resend(item, stamped_at)
                 else:
                     self._ingest_batch(item, stamped_at)
             elif kind == _REPLICA:
-                yield from self._busy(meter, costs.backup_store)
-                self.backup_buffer.store(item.message, stamped_at)
-                self.stats.replicas_stored += 1
+                start = engine.now
+                yield store_timeout
+                add_busy(start, engine.now)
+                backup_buffer.store(item.message, stamped_at)
+                stats.replicas_stored += 1
             elif kind == _PRUNE:
-                yield from self._busy(meter, costs.backup_prune)
-                if self.backup_buffer.prune(item.topic_id, item.seq):
-                    self.stats.prunes_applied += 1
+                start = engine.now
+                yield prune_timeout
+                add_busy(start, engine.now)
+                if backup_buffer.prune(item.topic_id, item.seq):
+                    stats.prunes_applied += 1
             elif kind == _RECOVERY:
                 yield from self._recover()
             else:  # pragma: no cover - defensive
@@ -200,46 +225,50 @@ class Broker:
     # Job Generator (runs on the proxy core)
     # ------------------------------------------------------------------
     def _ingest_batch(self, batch: PublishBatch, arrived_at: float) -> None:
+        generate = self._generate_jobs
         for message in batch.messages:
-            self._generate_jobs(message, arrived_at)
+            generate(message, arrived_at)
 
     def _generate_jobs(self, message: Message, arrived_at: float) -> None:
         plan = self._plan.get(message.topic_id)
         if plan is None:
             return  # unknown topic: not admitted, drop
-        pseudo_dd, pseudo_dr = plan
-        can_replicate = self._peer_replica_address is not None
-        entry = self.message_buffer.insert(
-            message, arrived_at, wants_replication=pseudo_dr is not None and can_replicate
-        )
+        pseudo_dd, pseudo_dr, replicate_first = plan
+        wants = pseudo_dr is not None and self._peer_replica_address is not None
+        entry = self.message_buffer.insert(message, arrived_at,
+                                           wants_replication=wants)
+        push = self.job_queue.push
         if self._fifo:
-            dispatch_deadline = arrived_at
+            dispatch_job = Job(DISPATCH, entry, arrived_at, self._cost_dispatch)
+            entry.dispatch_job = dispatch_job
+            if not wants:
+                push(dispatch_job)
+                return
             replicate_deadline = arrived_at
         else:
-            delta_pb = max(0.0, arrived_at - message.created_at)
-            dispatch_deadline = arrived_at + (pseudo_dd - delta_pb)
-            replicate_deadline = (
-                arrived_at + (pseudo_dr - delta_pb) if pseudo_dr is not None else 0.0
-            )
-        costs = self.config.costs
-        dispatch_job = Job(DISPATCH, entry, dispatch_deadline, costs.dispatch)
-        entry.dispatch_job = dispatch_job
-        if not entry.wants_replication:
-            self.job_queue.push(dispatch_job)
-            return
-        replicate_job = Job(REPLICATE, entry, replicate_deadline, costs.replicate)
+            delta_pb = arrived_at - message.created_at
+            if delta_pb < 0.0:
+                delta_pb = 0.0
+            dispatch_job = Job(DISPATCH, entry, arrived_at + (pseudo_dd - delta_pb),
+                               self._cost_dispatch)
+            entry.dispatch_job = dispatch_job
+            if not wants:
+                push(dispatch_job)
+                return
+            replicate_deadline = arrived_at + (pseudo_dr - delta_pb)
+        replicate_job = Job(REPLICATE, entry, replicate_deadline,
+                            self._cost_replicate)
         entry.replicate_job = replicate_job
         # Push in execution-priority order: when workers are idle, push
         # order decides who runs first, so it must agree with the queue's
         # ordering (EDF by deadline; the FCFS baselines replicate first).
-        replicate_first = (self.config.policy.replicate_before_dispatch
-                           or replicate_deadline <= dispatch_deadline)
+        # The flag was precomputed per topic in _build_plan.
         if replicate_first:
-            self.job_queue.push(replicate_job)
-            self.job_queue.push(dispatch_job)
+            push(replicate_job)
+            push(dispatch_job)
         else:
-            self.job_queue.push(dispatch_job)
-            self.job_queue.push(replicate_job)
+            push(dispatch_job)
+            push(replicate_job)
 
     def _ingest_resend(self, batch: PublishBatch, arrived_at: float) -> None:
         """Handle the retained messages a publisher re-sends at fail-over.
@@ -264,68 +293,110 @@ class Broker:
     # Message Delivery module (worker pool on dedicated cores)
     # ------------------------------------------------------------------
     def _delivery_worker(self):
+        # The hottest loop in a simulation run: every attribute that is
+        # constant for the broker's lifetime is hoisted into a local, busy
+        # accounting is inlined, and the fixed-cost Timeouts are shared
+        # across iterations (immutable; subscription leaves no state).
+        engine = self.engine
         costs = self.config.costs
-        meter = self.stats.delivery_meter
+        stats = self.stats
+        meter = stats.delivery_meter
+        add_busy = meter.add_busy
+        disk_meter = stats.disk_meter
+        disk_add_busy = disk_meter.add_busy
         coordination = self.config.policy.coordination
+        disk_logging = self.config.policy.disk_logging
+        job_queue = self.job_queue
+        pop = job_queue.pop
+        release = self.message_buffer.release_if_settled
+        send = self.network.send
+        host = self.host
+        subscriptions = self.config.subscriptions
+        dispatch_timeout = Timeout(costs.dispatch)
+        replicate_timeout = Timeout(costs.replicate)
+        coordinate_timeout = Timeout(costs.coordinate)
+        disk_timeout = Timeout(costs.disk_write)
+        # One waitable serves every iteration: _JobGet is immutable and
+        # subscription leaves no state on it.
+        pop_wait = pop()
         while True:
-            job = yield self.job_queue.pop()
+            job = yield pop_wait
             entry: MessageEntry = job.entry
             if job.kind == DISPATCH:
                 if entry.dispatched:
-                    self.stats.dispatch_duplicates += 1
+                    stats.dispatch_duplicates += 1
                     continue
-                if self.config.policy.disk_logging and not job.recovery:
+                if disk_logging and not job.recovery:
                     # Table 1's "local disk" strategy: journal synchronously
                     # before dispatch.  Blocks this worker (I/O wait, not
                     # CPU) — the capacity cost the paper alludes to.
-                    yield from self._busy(self.stats.disk_meter, costs.disk_write)
-                    self.stats.disk_writes += 1
-                yield from self._busy(meter, costs.dispatch)
-                self._push_to_subscribers(entry, recovered=job.recovery)
+                    start = engine.now
+                    yield disk_timeout
+                    disk_add_busy(start, engine.now)
+                    stats.disk_writes += 1
+                start = engine.now
+                yield dispatch_timeout
+                add_busy(start, engine.now)
+                message = entry.message
+                deliver = Deliver(message, dispatched_at=engine.now,
+                                  recovered=job.recovery)
+                for address in subscriptions.get(message.topic_id, ()):
+                    send(host, address, deliver)
                 entry.dispatched = True
-                self.stats.dispatched += 1
-                trace(self.engine, "dispatch", self.name, entry.message.key())
-                if should_cancel_pending_replication(entry, coordination):
-                    self.job_queue.cancel(entry.replicate_job)
-                    self.stats.replications_cancelled += 1
-                if should_request_prune(entry, coordination) and self._peer_replica_address:
-                    yield from self._busy(meter, costs.coordinate)
-                    self.network.send(self.host, self._peer_replica_address,
-                                      Prune(entry.message.topic_id, entry.message.seq))
-                    self.stats.prunes_sent += 1
-                self.message_buffer.release_if_settled(entry)
+                stats.dispatched += 1
+                # Guarded to skip the key() tuple build when tracing is off.
+                if engine._tracer is not None:
+                    trace(engine, "dispatch", self.name, message.key())
+                # Table 3 checks, inlined from coordination.should_cancel_
+                # pending_replication / should_request_prune (one call frame
+                # less per dispatch; the pure functions remain for tests).
+                if coordination:
+                    replicate_job = entry.replicate_job
+                    if (replicate_job is not None
+                            and not replicate_job.cancelled
+                            and not entry.replicated):
+                        job_queue.cancel(replicate_job)
+                        stats.replications_cancelled += 1
+                if coordination and entry.replicated and self._peer_replica_address:
+                    start = engine.now
+                    yield coordinate_timeout
+                    add_busy(start, engine.now)
+                    send(host, self._peer_replica_address,
+                         Prune(message.topic_id, message.seq))
+                    stats.prunes_sent += 1
+                release(entry)
             elif job.kind == REPLICATE:
-                if should_abort_replication(entry, coordination):
-                    self.stats.replications_aborted += 1
-                    trace(self.engine, "replicate-abort", self.name,
-                          entry.message.key())
-                    self.message_buffer.release_if_settled(entry)
+                if coordination and entry.dispatched:  # abort replication
+                    stats.replications_aborted += 1
+                    if engine._tracer is not None:
+                        trace(engine, "replicate-abort", self.name,
+                              entry.message.key())
+                    release(entry)
                     continue
-                yield from self._busy(meter, costs.replicate)
+                start = engine.now
+                yield replicate_timeout
+                add_busy(start, engine.now)
                 if self._peer_replica_address is not None:
-                    self.network.send(self.host, self._peer_replica_address,
-                                      Replica(entry.message, entry.arrived_at))
+                    send(host, self._peer_replica_address,
+                         Replica(entry.message, entry.arrived_at))
                 entry.replicated = True
-                self.stats.replicated += 1
-                trace(self.engine, "replicate", self.name, entry.message.key())
+                stats.replicated += 1
+                if engine._tracer is not None:
+                    trace(engine, "replicate", self.name, entry.message.key())
                 if (coordination and entry.dispatched
                         and self._peer_replica_address is not None):
                     # The message was dispatched while this replication was
                     # in flight (two workers raced): discard the now-stale
                     # copy so recovery will not re-send it.
-                    yield from self._busy(meter, costs.coordinate)
-                    self.network.send(self.host, self._peer_replica_address,
-                                      Prune(entry.message.topic_id, entry.message.seq))
-                    self.stats.prunes_sent += 1
-                self.message_buffer.release_if_settled(entry)
+                    start = engine.now
+                    yield coordinate_timeout
+                    add_busy(start, engine.now)
+                    send(host, self._peer_replica_address,
+                         Prune(entry.message.topic_id, entry.message.seq))
+                    stats.prunes_sent += 1
+                release(entry)
             else:  # pragma: no cover - defensive
                 raise AssertionError(f"unknown job kind {job.kind}")
-
-    def _push_to_subscribers(self, entry: MessageEntry, recovered: bool) -> None:
-        message = entry.message
-        deliver = Deliver(message, dispatched_at=self.engine.now, recovered=recovered)
-        for address in self.config.subscribers_of(message.topic_id):
-            self.network.send(self.host, address, deliver)
 
     # ------------------------------------------------------------------
     # Re-protection (extension beyond the paper's one-failure model)
@@ -352,8 +423,8 @@ class Broker:
         for entry in list(self.message_buffer._entries.values()):
             if entry.dispatched or entry.replicated:
                 continue
-            pseudo_dd, pseudo_dr = self._plan.get(entry.message.topic_id,
-                                                  (None, None))
+            _pseudo_dd, pseudo_dr, _replicate_first = self._plan.get(
+                entry.message.topic_id, (None, None, False))
             if pseudo_dr is None:
                 continue
             entry.wants_replication = True
@@ -398,7 +469,7 @@ class Broker:
             message = backup_entry.message
             if self.message_buffer.get(message.topic_id, message.seq) is not None:
                 continue  # already re-ingested (e.g. resend raced ahead)
-            pseudo_dd, _ = self._plan.get(message.topic_id, (None, None))
+            pseudo_dd, _, _ = self._plan.get(message.topic_id, (None, None, False))
             if pseudo_dd is None:
                 continue
             entry = self.message_buffer.insert(message, backup_entry.arrived_at,

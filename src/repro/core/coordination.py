@@ -69,17 +69,23 @@ class MessageBuffer:
     def insert(self, message: Message, arrived_at: float,
                wants_replication: bool) -> MessageEntry:
         entry = MessageEntry(message, arrived_at, wants_replication)
-        self._entries[message.key()] = entry
+        self._entries[(message.topic_id, message.seq)] = entry
         return entry
 
     def get(self, topic_id: int, seq: int) -> Optional[MessageEntry]:
         return self._entries.get((topic_id, seq))
 
     def release_if_settled(self, entry: MessageEntry) -> bool:
-        if entry.settled:
-            self._entries.pop(entry.message.key(), None)
-            return True
-        return False
+        # ``entry.settled`` inlined: this runs once per delivery job.
+        if not entry.dispatched:
+            return False
+        if entry.wants_replication and not entry.replicated:
+            job = entry.replicate_job
+            if job is not None and not job.cancelled:
+                return False
+        message = entry.message
+        self._entries.pop((message.topic_id, message.seq), None)
+        return True
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -9,6 +9,7 @@ memory across a whole sweep.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -101,6 +102,35 @@ def summarize(result: RunResult, keep_series: bool = False) -> CellSummary:
         broker_counters=counters,
         series_kept=keep_series,
     )
+
+
+def summary_digest(summary: CellSummary) -> str:
+    """Canonical content hash of a cell result.
+
+    Two runs of the same cell are bit-for-bit equivalent iff their digests
+    match: the hash covers every reduction the tables and figures read
+    (rates, utilizations, counters, trace reductions) via exact float
+    ``repr``, with dict items sorted so iteration order cannot leak in.
+    The engine-optimization benchmarks and the golden-determinism test both
+    compare these digests across engine versions.
+    """
+    trace_rows = sorted(
+        (category, t.category, t.peak_latency_before, t.peak_latency_after,
+         t.total_losses, t.max_consecutive_losses, t.delivered)
+        for category, t in summary.traces.items()
+    )
+    parts = [
+        summary.policy_name,
+        repr(summary.paper_total),
+        repr(summary.seed),
+        repr(summary.crashed),
+        repr(sorted(summary.loss_by_row.items())),
+        repr(sorted(summary.latency_by_row.items())),
+        repr(sorted(summary.utilizations.items())),
+        repr(sorted(summary.broker_counters.items())),
+        repr(trace_rows),
+    ]
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
 
 _CACHE: Dict[ExperimentSettings, CellSummary] = {}

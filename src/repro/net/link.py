@@ -77,9 +77,27 @@ class TraceLatency(LatencyModel):
         self._latencies: List[float] = [l for _, l in pairs]
         if any(l < 0 for l in self._latencies):
             raise ValueError("trace latencies must be >= 0")
+        # Cursor into the trace for the last query time.  Simulation time is
+        # (almost) monotone, so the common case advances the cursor by zero
+        # or one step — O(1) instead of an O(log n) bisect per message.
+        self._cursor = 0
+        self._last_now = -math.inf
 
     def sample(self, rng, now: float) -> float:
-        index = bisect.bisect_right(self._times, now) - 1
-        if index < 0:
-            index = 0
-        return self._latencies[index]
+        times = self._times
+        if now >= self._last_now:
+            # Monotone fast path: walk forward while the next breakpoint
+            # has been reached (usually zero or one iteration).
+            cursor = self._cursor
+            n = len(times) - 1
+            while cursor < n and times[cursor + 1] <= now:
+                cursor += 1
+        else:
+            # Rewind (a fresh engine reusing the model, or out-of-order
+            # probing in tests): fall back to a full bisect.
+            cursor = bisect.bisect_right(times, now) - 1
+            if cursor < 0:
+                cursor = 0
+        self._cursor = cursor
+        self._last_now = now
+        return self._latencies[cursor]

@@ -18,14 +18,16 @@ Semantics chosen to match a TCP mesh over the paper's testbed:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.net.link import ConstantLatency, LatencyModel
+from repro.net.link import ConstantLatency, LatencyModel, UniformLatency
 from repro.sim.host import Host
 
 
 class _Link:
-    __slots__ = ("model", "rng", "last_delivery", "bandwidth", "blocked")
+    __slots__ = ("_model", "rng", "last_delivery", "bandwidth", "blocked",
+                 "const", "uniform")
 
     def __init__(self, model: LatencyModel, rng, bandwidth: Optional[float] = None):
         self.model = model
@@ -33,6 +35,25 @@ class _Link:
         self.last_delivery = -1.0
         self.bandwidth = bandwidth       # bytes/second; None = infinite
         self.blocked = False             # True while partitioned
+
+    @property
+    def model(self) -> LatencyModel:
+        return self._model
+
+    @model.setter
+    def model(self, model: LatencyModel) -> None:
+        # The two dominant models get inlined fast paths in Network.send.
+        # Constant links skip the sample() call entirely (no randomness
+        # consumed, so bypassing cannot shift RNG streams); uniform links
+        # inline ``rng.uniform``'s exact ``low + span * random()`` formula,
+        # consuming the same single ``random()`` draw — bit-for-bit the
+        # same latency.  Kept in sync here because tests/fault tooling swap
+        # models at runtime (e.g. wrapping a link in a duplicating fault).
+        self._model = model
+        kind = type(model)
+        self.const = model.latency if kind is ConstantLatency else None
+        self.uniform = ((model.low, model.high - model.low)
+                        if kind is UniformLatency else None)
 
 
 class Network:
@@ -45,6 +66,11 @@ class Network:
         self.engine = engine
         self._links: Dict[Tuple[str, str], _Link] = {}
         self._endpoints: Dict[str, Tuple[Host, Callable[[Any], None]]] = {}
+        # (src host name, address) -> link, so the hot send path does one
+        # dict probe instead of two.  Any (re-)registration may move an
+        # address to another host, so it drops the whole cache; liveness
+        # and partitions are read from the host/link objects per send.
+        self._route_cache: Dict[Tuple[str, str], _Link] = {}
         self.sent_count = 0
         self.dropped_count = 0
 
@@ -112,9 +138,11 @@ class Network:
                 f"{current[0].name}"
             )
         self._endpoints[address] = (host, callback)
+        self._route_cache.clear()
 
     def unregister(self, address: str) -> None:
         self._endpoints.pop(address, None)
+        self._route_cache.clear()
 
     def endpoint_host(self, address: str) -> Optional[Host]:
         entry = self._endpoints.get(address)
@@ -138,31 +166,58 @@ class Network:
         """
         if not src.alive:
             return False
-        entry = self._endpoints.get(address)
-        if entry is None:
-            self.dropped_count += 1
-            return False
-        dst_host, _ = entry
-        link = self._links.get((src.name, dst_host.name))
+        link = self._route_cache.get((src.name, address))
         if link is None:
-            raise ValueError(f"no link {src.name} -> {dst_host.name}")
+            entry = self._endpoints.get(address)
+            if entry is None:
+                self.dropped_count += 1
+                return False
+            link = self._links.get((src.name, entry[0].name))
+            if link is None:
+                raise ValueError(f"no link {src.name} -> {entry[0].name}")
+            self._route_cache[(src.name, address)] = link
         if link.blocked:
             self.dropped_count += 1
             return False
-        now = self.engine.now
-        sample = link.model.sample(link.rng, now)
+        engine = self.engine
+        now = engine.now
+        sample = link.const
         if sample is None:
-            self.dropped_count += 1
-            return False
-        latencies = sample if isinstance(sample, tuple) else (sample,)
-        serialization = size / link.bandwidth if link.bandwidth else 0.0
+            uniform = link.uniform
+            if uniform is not None:
+                sample = uniform[0] + uniform[1] * link.rng.random()
+            else:
+                sample = link.model.sample(link.rng, now)
+                if sample is None:
+                    self.dropped_count += 1
+                    return False
         self.sent_count += 1
-        for latency in latencies:
+        # Delivery events are never cancelled, and deliver_at >= now by
+        # construction (latency >= 0), so the engine's unchecked no-handle
+        # scheduling applies — inlined here (same entry layout and seq
+        # consumption as Engine._at), one allocation and one call frame
+        # less per send.
+        if sample.__class__ is not tuple:
+            # Fast path: one latency sample, the overwhelmingly common case.
+            deliver_at = now + sample
+            if link.bandwidth:
+                deliver_at += size / link.bandwidth
+            if deliver_at <= link.last_delivery:
+                deliver_at = link.last_delivery + self.FIFO_EPSILON
+            link.last_delivery = deliver_at
+            engine._seq = seq = engine._seq + 1
+            heappush(engine._heap,
+                     (deliver_at, seq, None, self._deliver, (address, message)))
+            return True
+        serialization = size / link.bandwidth if link.bandwidth else 0.0
+        for latency in sample:
             deliver_at = now + latency + serialization
             if deliver_at <= link.last_delivery:
                 deliver_at = link.last_delivery + self.FIFO_EPSILON
             link.last_delivery = deliver_at
-            self.engine.call_at(deliver_at, self._deliver, address, message)
+            engine._seq = seq = engine._seq + 1
+            heappush(engine._heap,
+                     (deliver_at, seq, None, self._deliver, (address, message)))
         return True
 
     def _deliver(self, address: str, message: Any) -> None:

@@ -21,9 +21,12 @@ from repro.runtime.peerlink import PeerLink
 from repro.runtime.wire import (
     MAX_FRAME_BYTES,
     decode_message,
+    encode_frames,
     encode_message,
     read_frame,
+    write_encoded,
     write_frame,
+    write_frames,
 )
 
 __all__ = [
@@ -34,8 +37,11 @@ __all__ = [
     "RuntimeBrokerConfig",
     "Subscriber",
     "decode_message",
+    "encode_frames",
     "encode_message",
     "fetch_stats",
     "read_frame",
+    "write_encoded",
     "write_frame",
+    "write_frames",
 ]

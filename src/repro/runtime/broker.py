@@ -50,8 +50,10 @@ from repro.runtime.peerlink import PeerLink
 from repro.runtime.wire import (
     ProtocolError,
     decode_message,
+    encode_frames,
     encode_message,
     read_frame,
+    write_encoded,
     write_frame,
 )
 
@@ -448,12 +450,17 @@ class BrokerServer:
             async with self._journal_lock:
                 if self._journal is not None:
                     await asyncio.to_thread(self._journal_write, message)
-        frame = {"type": "deliver", "message": encode_message(message)}
-        for writer in list(self._subscribers.get(message.topic_id, ())):
-            try:
-                await write_frame(writer, frame)
-            except (ConnectionResetError, OSError):
-                self._subscribers[message.topic_id].discard(writer)
+        subscribers = self._subscribers.get(message.topic_id)
+        if subscribers:
+            # Encode once for the whole fan-out (write_frame would re-encode
+            # the same JSON per subscriber), then one write + drain each.
+            blob = encode_frames(
+                ({"type": "deliver", "message": encode_message(message)},))
+            for writer in list(subscribers):
+                try:
+                    await write_encoded(writer, blob)
+                except (ConnectionResetError, OSError):
+                    subscribers.discard(writer)
         entry.dispatched = True
         self.dispatched += 1
         now = time.time()

@@ -32,7 +32,7 @@ import time
 from collections import deque
 from typing import Any, Awaitable, Callable, Deque, Dict, Optional, Tuple
 
-from repro.runtime.wire import ProtocolError, read_frame, write_frame
+from repro.runtime.wire import ProtocolError, read_frame, write_frame, write_frames
 
 logger = logging.getLogger(__name__)
 
@@ -149,23 +149,36 @@ class PeerLink:
         self._queue.append(frame)
         self.frames_queued += 1
 
+    #: Frames corked into one write while flushing the outage queue.
+    FLUSH_BATCH = 64
+
     async def _flush_queue(self) -> int:
-        """Send everything queued during the outage, oldest first."""
+        """Send everything queued during the outage, oldest first.
+
+        Frames are corked into batches of :attr:`FLUSH_BATCH` and written
+        with a single drain each (:func:`~repro.runtime.wire.write_frames`)
+        — a resync after a long outage can hold thousands of frames, and a
+        per-frame drain would cost an event-loop round trip for each.  On a
+        write error the in-flight batch is pushed back intact, so ordering
+        is preserved for the next reconnect.
+        """
         flushed = 0
-        while self._queue:
+        queue = self._queue
+        while queue:
             writer = self._writer
             if writer is None:
                 break
-            frame = self._queue.popleft()
+            batch = [queue.popleft()
+                     for _ in range(min(len(queue), self.FLUSH_BATCH))]
             try:
-                await write_frame(writer, frame)
+                await write_frames(writer, batch)
             except (OSError, ProtocolError) as exc:
-                self._queue.appendleft(frame)   # went down again; keep order
+                queue.extendleft(reversed(batch))   # went down again; keep order
                 self.last_error = str(exc) or type(exc).__name__
                 self._drop_writer()
                 break
-            self.frames_sent += 1
-            flushed += 1
+            self.frames_sent += len(batch)
+            flushed += len(batch)
         return flushed
 
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from repro.core.model import Message
 
@@ -46,12 +46,51 @@ def decode_message(obj: Dict[str, Any]) -> Message:
         raise ProtocolError(f"bad message object: {obj!r}") from exc
 
 
+def encode_frames(frames: Iterable[Dict[str, Any]]) -> bytes:
+    """Encode frames into one contiguous length-prefixed blob.
+
+    Splitting encoding from writing lets a sender encode once and fan the
+    same bytes out to many connections (the broker's dispatch loop), or
+    cork many frames into a single write (see :func:`write_frames`).
+    """
+    parts = []
+    for frame in frames:
+        data = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+        if len(data) > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {len(data)} bytes exceeds limit")
+        parts.append(_LENGTH.pack(len(data)))
+        parts.append(data)
+    return b"".join(parts)
+
+
+async def write_encoded(writer: asyncio.StreamWriter, blob: bytes) -> None:
+    """Write an :func:`encode_frames` blob and drain once."""
+    writer.write(blob)
+    await writer.drain()
+
+
 async def write_frame(writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
     data = json.dumps(frame, separators=(",", ":")).encode("utf-8")
     if len(data) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(data)} bytes exceeds limit")
     writer.write(_LENGTH.pack(len(data)) + data)
     await writer.drain()
+
+
+async def write_frames(writer: asyncio.StreamWriter,
+                       frames: Iterable[Dict[str, Any]]) -> None:
+    """Cork a batch of frames into one ``write`` + a single ``drain``.
+
+    ``write_frame`` awaits ``drain()`` after every frame, which costs an
+    event-loop round trip per frame; a batch sender (e.g. the peer link
+    flushing its outage queue on resync) pays that once per batch instead.
+    Frames are encoded before anything is written, so an oversized frame
+    raises without leaving a partial batch on the wire.
+    """
+    blob = encode_frames(frames)
+    if blob:
+        writer.write(blob)
+        await writer.drain()
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:

@@ -1,15 +1,42 @@
-"""The discrete-event engine: an event heap and a simulated clock.
+"""The discrete-event engine: an event heap, a same-time ready queue, and
+a simulated clock.
 
 The engine executes callbacks in nondecreasing simulated-time order.  Ties
 are broken by insertion order, which makes every run fully deterministic.
 Time is a ``float`` number of seconds; the helpers in
 :mod:`repro.core.units` convert the paper's millisecond parameters.
+
+Performance notes
+-----------------
+
+The event store is split in two:
+
+* a **binary heap** of ``(time, seq, call, fn, args)`` tuples for events in
+  the future.  Keying the heap by the ``(time, seq)`` tuple prefix keeps
+  every sift comparison inside the C tuple-comparison fast path — no
+  per-comparison Python ``__lt__`` dispatch.  ``seq`` is unique, so the
+  comparison never reaches the non-comparable payload elements.
+* a **ready deque** for events scheduled at the *current* time
+  (:meth:`call_soon` and the internal :meth:`_soon`).  Same-time events
+  dominate event volume (process resumes, queue hand-offs, signal fires),
+  and a deque append/popleft is O(1) versus O(log n) heap sifting.
+
+Both stores order events by the same global ``(time, seq)`` key, and the
+dispatch loop merges them by exactly that key, so the execution order is
+bit-for-bit identical to a single-heap engine: the split is invisible to
+simulation results (same seed ⇒ same trace ⇒ same cell digests).
+
+Internal schedulers (:meth:`_soon`, :meth:`_at`, :meth:`_after`) skip
+argument validation and — except for :meth:`_after`, whose callers need a
+cancellable timer — do not allocate a :class:`ScheduledCall` handle, which
+removes one object allocation per event on the hot paths.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from collections import deque
 from typing import Any, Callable, Iterator, Optional
 
 from repro.sim.rng import RngRegistry
@@ -34,8 +61,8 @@ class ScheduledCall:
         if self.cancelled:
             return
         self.cancelled = True
-        # While still on the heap, the owning engine counts this tombstone
-        # so pending_events()/peek_time() stay O(1) and the heap can compact
+        # While still queued, the owning engine counts this tombstone so
+        # pending_events()/peek_time() stay O(1) and the stores can compact
         # when cancellations dominate.  Popped calls have no engine backref.
         engine = self._engine
         if engine is not None:
@@ -63,21 +90,32 @@ class Engine:
       :mod:`repro.sim.process`),
     * hand out named, reproducible random streams (:meth:`rng`).
 
-    The engine stops when the heap drains or when the ``until`` horizon of
-    :meth:`run` is reached, whichever comes first.
+    The engine stops when both event stores drain or when the ``until``
+    horizon of :meth:`run` is reached, whichever comes first.
     """
 
-    #: Compaction policy for lazily-deleted (cancelled) heap entries: rebuild
+    #: Compaction policy for lazily-deleted (cancelled) entries: rebuild
     #: once at least ``_COMPACT_MIN`` tombstones accumulate *and* they make up
-    #: more than half the heap.  Rebuilding is O(n) and resets the tombstone
-    #: count to zero, so total compaction work stays amortized O(1) per cancel.
+    #: more than half the queued events.  Rebuilding is O(n) and resets the
+    #: tombstone count to zero, so total compaction work stays amortized O(1)
+    #: per cancel.
     _COMPACT_MIN = 64
+
+    __slots__ = ("now", "_heap", "_ready", "_seq", "_cancelled", "_rngs",
+                 "seed", "_running", "_processes", "_tracer")
 
     def __init__(self, seed: int = 0, start_time: float = 0.0):
         self.now: float = start_time
-        self._heap: list[ScheduledCall] = []
+        # Set by repro.sim.trace.Tracer.install; hot paths test
+        # ``engine._tracer is not None`` with a plain attribute load.
+        self._tracer = None
+        # Future events: (time, seq, call-or-None, fn, args) tuples.
+        self._heap: list = []
+        # Events at the current time, appended in seq order; drained before
+        # the clock may advance, so every entry's time equals ``now``.
+        self._ready: deque = deque()
         self._seq: int = 0
-        self._cancelled: int = 0    # tombstones still sitting on the heap
+        self._cancelled: int = 0    # tombstones still sitting in the stores
         self._rngs = RngRegistry(seed)
         self.seed = seed
         self._running = False
@@ -94,9 +132,9 @@ class Engine:
         """
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} before now={self.now}")
-        self._seq += 1
-        call = ScheduledCall(time, self._seq, fn, args, engine=self)
-        heapq.heappush(self._heap, call)
+        self._seq = seq = self._seq + 1
+        call = ScheduledCall(time, seq, fn, args, engine=self)
+        heapq.heappush(self._heap, (time, seq, call, fn, args))
         return call
 
     def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
@@ -107,7 +145,37 @@ class Engine:
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
         """Schedule ``fn(*args)`` at the current time, after queued events."""
-        return self.call_at(self.now, fn, *args)
+        now = self.now
+        self._seq = seq = self._seq + 1
+        call = ScheduledCall(now, seq, fn, args, engine=self)
+        self._ready.append((now, seq, call, fn, args))
+        return call
+
+    # ------------------------------------------------------------------
+    # Internal fast paths: no validation, and (except _after) no handle.
+    # Callers must guarantee time >= now / delay >= 0 and must not need to
+    # cancel the event; ordering semantics are identical to the public API.
+    # ------------------------------------------------------------------
+    def _soon(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Uncancellable :meth:`call_soon` without handle allocation."""
+        self._seq = seq = self._seq + 1
+        self._ready.append((self.now, seq, None, fn, args))
+
+    def _at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Uncancellable :meth:`call_at`; ``time >= now`` is the caller's
+        contract (checked only under ``__debug__`` via tests)."""
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (time, seq, None, fn, args))
+
+    def _after(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Unchecked :meth:`call_after` returning a cancellable handle;
+        ``delay >= 0`` is the caller's contract (e.g. ``Timeout`` validates
+        at construction)."""
+        time = self.now + delay
+        self._seq = seq = self._seq + 1
+        call = ScheduledCall(time, seq, fn, args, engine=self)
+        heapq.heappush(self._heap, (time, seq, call, fn, args))
+        return call
 
     # ------------------------------------------------------------------
     # Processes and randomness
@@ -131,21 +199,37 @@ class Engine:
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Run the single next event.  Returns ``False`` if the heap is empty."""
+        """Run the single next event.  Returns ``False`` if both stores are
+        empty."""
         heap = self._heap
-        while heap:
-            call = heapq.heappop(heap)
-            call._engine = None
-            if call.cancelled:
-                self._cancelled -= 1
-                continue
-            self.now = call.time
-            call.fn(*call.args)
+        ready = self._ready
+        while True:
+            if ready:
+                # Ready entries sit at the current time; a heap entry can
+                # only run first if it shares that time with a smaller seq.
+                head = heap[0] if heap else None
+                if (head is not None and head[0] == self.now
+                        and head[1] < ready[0][1]):
+                    entry = heapq.heappop(heap)
+                else:
+                    entry = ready.popleft()
+            elif heap:
+                entry = heapq.heappop(heap)
+            else:
+                return False
+            time, _seq, call, fn, args = entry
+            if call is not None:
+                if call.cancelled:
+                    self._cancelled -= 1
+                    continue
+                call._engine = None
+            self.now = time
+            fn(*args)
             return True
-        return False
 
     def run(self, until: float = math.inf) -> float:
-        """Run events until the heap drains or simulated time reaches ``until``.
+        """Run events until the stores drain or simulated time reaches
+        ``until``.
 
         Returns the simulated time at which execution stopped.  When the
         horizon is reached, the clock is advanced exactly to ``until`` so
@@ -155,18 +239,53 @@ class Engine:
             raise RuntimeError("engine is already running (re-entrant run())")
         self._running = True
         heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        popleft = ready.popleft
         try:
-            while heap:
-                call = heap[0]
-                if call.time > until:
-                    break
-                heapq.heappop(heap)
-                call._engine = None
-                if call.cancelled:
-                    self._cancelled -= 1
-                    continue
-                self.now = call.time
-                call.fn(*call.args)
+            # The clock only advances in the heap branch, which respects the
+            # horizon on its own — so after this one entry guard the ready
+            # branch needs no ``until`` check at all (the heap head is never
+            # earlier than ``now``, so ``now`` stays <= ``until`` throughout).
+            # ``now`` mirrors ``self.now``; the heap branch below is the
+            # only writer, so the mirror cannot go stale.
+            now = self.now
+            if now <= until:
+                while True:
+                    if ready:
+                        # Merge by the global (time, seq) key: heap entries
+                        # at the current time interleave with ready entries
+                        # by seq.
+                        if heap:
+                            head = heap[0]
+                            if head[0] == now and head[1] < ready[0][1]:
+                                entry = heappop(heap)
+                            else:
+                                entry = popleft()
+                        else:
+                            entry = popleft()
+                        call = entry[2]
+                        if call is not None:
+                            if call.cancelled:
+                                self._cancelled -= 1
+                                continue
+                            call._engine = None
+                        entry[3](*entry[4])
+                    elif heap:
+                        head = heap[0]
+                        if head[0] > until:
+                            break
+                        entry = heappop(heap)
+                        call = entry[2]
+                        if call is not None:
+                            if call.cancelled:
+                                self._cancelled -= 1
+                                continue
+                            call._engine = None
+                        self.now = now = entry[0]
+                        entry[3](*entry[4])
+                    else:
+                        break
         finally:
             self._running = False
         # math.isfinite, not an identity check against math.inf: a caller
@@ -176,21 +295,36 @@ class Engine:
         return self.now
 
     def pending_events(self) -> int:
-        """Number of scheduled (non-cancelled) events still on the heap."""
-        return len(self._heap) - self._cancelled
+        """Number of scheduled (non-cancelled) events still queued."""
+        return len(self._heap) + len(self._ready) - self._cancelled
 
     def peek_time(self) -> Optional[float]:
         """Simulated time of the next runnable event, or ``None`` if drained.
 
         Amortized O(1): cancelled heads are popped off (each cancelled call
-        is evicted at most once over the engine's lifetime), and the live
-        head is by the heap invariant the true minimum.
+        is evicted at most once over the engine's lifetime).  A live ready
+        entry always runs no later than the heap head, and when both are at
+        the same time they also share it — so its time is the answer.
         """
+        ready = self._ready
+        while ready:
+            call = ready[0][2]
+            if call is not None and call.cancelled:
+                ready.popleft()
+                call._engine = None
+                self._cancelled -= 1
+                continue
+            return ready[0][0]
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)._engine = None
-            self._cancelled -= 1
-        return heap[0].time if heap else None
+        while heap:
+            call = heap[0][2]
+            if call is not None and call.cancelled:
+                heapq.heappop(heap)
+                call._engine = None
+                self._cancelled -= 1
+                continue
+            return heap[0][0]
+        return None
 
     # ------------------------------------------------------------------
     # Lazy-deletion bookkeeping
@@ -198,16 +332,25 @@ class Engine:
     def _note_cancel(self) -> None:
         self._cancelled += 1
         if (self._cancelled >= self._COMPACT_MIN
-                and self._cancelled * 2 > len(self._heap)):
+                and self._cancelled * 2 > len(self._heap) + len(self._ready)):
             self._compact()
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify.
 
-        ``__lt__`` is a total order over ``(time, seq)``, so re-heapifying
-        the surviving calls cannot change the pop order: determinism is
-        preserved bit-for-bit.
+        ``(time, seq)`` is a total order, so re-heapifying the surviving
+        entries cannot change the pop order: determinism is preserved
+        bit-for-bit.  The ready deque is rebuilt in place, preserving its
+        (already sorted) seq order.
         """
-        self._heap = [call for call in self._heap if not call.cancelled]
+        # In place, so the dispatch loop's bound reference stays valid even
+        # when a cancellation during run() triggers compaction.
+        self._heap[:] = [entry for entry in self._heap
+                         if entry[2] is None or not entry[2].cancelled]
         heapq.heapify(self._heap)
+        if self._ready:
+            live = [entry for entry in self._ready
+                    if entry[2] is None or not entry[2].cancelled]
+            self._ready.clear()
+            self._ready.extend(live)
         self._cancelled = 0

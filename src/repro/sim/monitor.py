@@ -97,10 +97,16 @@ class UtilizationMeter:
 
     def add_busy(self, start: float, end: float) -> None:
         """Record a busy interval; only the part inside the window counts."""
-        lo = max(start, self._t0)
-        hi = min(end, self._t1)
-        if hi > lo:
-            self.busy += hi - lo
+        # Branch-clamped rather than max()/min(): this runs for every
+        # modeled operation, and the interval is usually inside the window.
+        t0 = self._t0
+        if start < t0:
+            start = t0
+        t1 = self._t1
+        if end > t1:
+            end = t1
+        if end > start:
+            self.busy += end - start
 
     def utilization(self) -> float:
         """Busy fraction of the module's total capacity over the window."""

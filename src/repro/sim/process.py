@@ -16,12 +16,23 @@ process on a host); a killed process never resumes, and any timer it was
 waiting on is cancelled.  Stale wake-ups are guarded by a per-process wait
 epoch, so primitives may be conservative about bookkeeping without risk of
 double-resuming a process.
+
+Hot-path design: the direct-yield paths (``Timeout``, ``Signal``,
+``Queue``) subscribe without allocating a per-wait closure — they record
+the waiting ``(process, epoch)`` pair and resume it through the engine's
+same-time ready queue (:meth:`Engine._soon`) or unchecked timer path
+(:meth:`Engine._after`).  The closure-based ``_add_callback`` interface
+remains for composition (:class:`AnyOf` / :class:`AllOf`), which is off
+the per-message path.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Iterator, List, Sequence, Tuple
+
+from repro.sim.engine import ScheduledCall
 
 
 class ProcessKilled(Exception):
@@ -39,7 +50,7 @@ class Waitable:
         engine = proc.engine
 
         def _wake(value: Any) -> None:
-            engine.call_soon(proc._resume, epoch, value)
+            engine._soon(proc._resume, epoch, value)
 
         self._add_callback(_wake)
 
@@ -56,7 +67,10 @@ class Timeout(Waitable):
         self.value = value
 
     def _subscribe(self, proc: "Process") -> None:
-        proc._pending = proc.engine.call_after(self.delay, proc._resume, proc._epoch, self.value)
+        # The delay was validated at construction, so the unchecked engine
+        # path is safe; the handle is kept for cancellation on kill().
+        proc._pending = proc.engine._after(self.delay, proc._resume,
+                                          proc._epoch, self.value)
 
     def _add_callback(self, fn: Callable[[Any], None]) -> None:
         # Only used through composition (AnyOf/AllOf), where the composite
@@ -69,6 +83,12 @@ class Signal(Waitable):
 
     A process that yields an already-fired signal resumes immediately with
     the stored value, so there is no race between firing and waiting.
+
+    Waiters are kept in one list in subscription order: direct process
+    waiters as ``(process, epoch)`` pairs, composite subscribers as bare
+    callbacks.  ``fire`` walks that single list, so the wake-up order (and
+    therefore the engine seq order) is exactly the subscription order,
+    whichever mix of waiter kinds subscribed.
     """
 
     __slots__ = ("engine", "fired", "value", "_callbacks")
@@ -77,7 +97,7 @@ class Signal(Waitable):
         self.engine = engine
         self.fired = False
         self.value: Any = None
-        self._callbacks: List[Callable[[Any], None]] = []
+        self._callbacks: List[Any] = []
 
     def fire(self, value: Any = None) -> None:
         if self.fired:
@@ -85,8 +105,19 @@ class Signal(Waitable):
         self.fired = True
         self.value = value
         callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(value)
+        soon = self.engine._soon
+        for item in callbacks:
+            if item.__class__ is tuple:
+                proc, epoch = item
+                soon(proc._resume, epoch, value)
+            else:
+                item(value)
+
+    def _subscribe(self, proc: "Process") -> None:
+        if self.fired:
+            proc.engine._soon(proc._resume, proc._epoch, self.value)
+        else:
+            self._callbacks.append((proc, proc._epoch))
 
     def _add_callback(self, fn: Callable[[Any], None]) -> None:
         if self.fired:
@@ -102,12 +133,20 @@ class Notify(Waitable):
 
     def __init__(self, engine):
         self.engine = engine
-        self._callbacks: List[Callable[[Any], None]] = []
+        self._callbacks: List[Any] = []
 
     def notify(self, value: Any = None) -> None:
         callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(value)
+        soon = self.engine._soon
+        for item in callbacks:
+            if item.__class__ is tuple:
+                proc, epoch = item
+                soon(proc._resume, epoch, value)
+            else:
+                item(value)
+
+    def _subscribe(self, proc: "Process") -> None:
+        self._callbacks.append((proc, proc._epoch))
 
     def _add_callback(self, fn: Callable[[Any], None]) -> None:
         self._callbacks.append(fn)
@@ -122,7 +161,7 @@ class _QueueGet(Waitable):
     def _subscribe(self, proc: "Process") -> None:
         q = self.queue
         if q._items:
-            proc.engine.call_soon(proc._resume, proc._epoch, q._items.popleft())
+            proc.engine._soon(proc._resume, proc._epoch, q._items.popleft())
         else:
             q._getters.append((proc, proc._epoch))
 
@@ -142,10 +181,11 @@ class Queue:
         self._getters: deque = deque()  # (process, epoch) pairs
 
     def put(self, item: Any) -> None:
-        while self._getters:
-            proc, epoch = self._getters.popleft()
+        getters = self._getters
+        while getters:
+            proc, epoch = getters.popleft()
             if proc.alive and epoch == proc._epoch:
-                self.engine.call_soon(proc._resume, epoch, item)
+                self.engine._soon(proc._resume, epoch, item)
                 return
         self._items.append(item)
 
@@ -167,8 +207,10 @@ class AnyOf(Waitable):
     """Wait until any one of several waitables resolves.
 
     Resolves to ``(index, value)`` of the first waitable to complete.  The
-    losers' wake-ups are absorbed.  :class:`Timeout` members are supported,
-    which makes ``AnyOf`` the building block for poll-with-timeout loops.
+    losers' wake-ups are absorbed, and losing :class:`Timeout` timers are
+    *cancelled* on resolution so they do not linger on the event heap as
+    garbage — poll-with-timeout loops (e.g. the failure detector) would
+    otherwise accumulate one dead timer per round.
     """
 
     def __init__(self, engine, waitables: Sequence[Waitable]):
@@ -179,20 +221,29 @@ class AnyOf(Waitable):
 
     def _add_callback(self, fn: Callable[[Any], None]) -> None:
         resolved = [False]
+        timers: List[Any] = []
 
         def make_winner(index: int) -> Callable[[Any], None]:
             def winner(value: Any) -> None:
                 if resolved[0]:
                     return
                 resolved[0] = True
+                for timer in timers:
+                    if timer is not None and not timer.cancelled:
+                        timer.cancel()
                 fn((index, value))
 
             return winner
 
         for index, waitable in enumerate(self.waitables):
             if isinstance(waitable, Timeout):
-                self.engine.call_after(waitable.delay, make_winner(index), waitable.value)
+                # _after, not call_after: the delay was validated when the
+                # Timeout was built, and the handle is what lets the winner
+                # cancel losing timers.
+                timers.append(self.engine._after(
+                    waitable.delay, make_winner(index), waitable.value))
             else:
+                timers.append(None)
                 waitable._add_callback(make_winner(index))
 
 
@@ -234,11 +285,12 @@ class Process:
     """
 
     __slots__ = ("engine", "gen", "name", "host", "alive", "killed", "value", "done",
-                 "_epoch", "_pending")
+                 "_epoch", "_pending", "_send")
 
     def __init__(self, engine, gen: Iterator, name: str = "", host=None):
         self.engine = engine
         self.gen = gen
+        self._send = gen.send
         self.name = name or getattr(gen, "__name__", "process")
         self.host = host
         self.alive = True
@@ -250,7 +302,7 @@ class Process:
         engine._processes.append(self)
         if host is not None:
             host._attach(self)
-        engine.call_soon(self._resume, 0, None)
+        engine._soon(self._resume, 0, None)
 
     # ------------------------------------------------------------------
     def _resume(self, epoch: int, value: Any) -> None:
@@ -258,16 +310,33 @@ class Process:
             return
         self._pending = None
         try:
-            item = self.gen.send(value)
+            item = self._send(value)
         except StopIteration as stop:
             self._finish(stop.value)
             return
-        if not isinstance(item, Waitable):
+        self._epoch = epoch = epoch + 1
+        if item.__class__ is Timeout:
+            # Inlined Timeout._subscribe/Engine._after: a timed sleep is the
+            # single most common yield, so skip two call frames.  The delay
+            # was validated at Timeout construction; the handle is kept for
+            # cancellation on kill().
+            engine = self.engine
+            time = engine.now + item.delay
+            engine._seq = seq = engine._seq + 1
+            resume = self._resume
+            args = (epoch, item.value)
+            self._pending = call = ScheduledCall(time, seq, resume, args,
+                                                 engine=engine)
+            heappush(engine._heap, (time, seq, call, resume, args))
+            return
+        try:
+            subscribe = item._subscribe
+        except AttributeError:
             raise TypeError(
-                f"process {self.name!r} yielded {item!r}; processes must yield Waitable objects"
-            )
-        self._epoch += 1
-        item._subscribe(self)
+                f"process {self.name!r} yielded {item!r}; processes must "
+                f"yield Waitable objects"
+            ) from None
+        subscribe(self)
 
     def _finish(self, value: Any) -> None:
         self.alive = False

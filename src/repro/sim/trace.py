@@ -51,8 +51,7 @@ class Tracer:
 
     @staticmethod
     def uninstall(engine) -> None:
-        if hasattr(engine, "_tracer"):
-            del engine._tracer
+        engine._tracer = None
 
     def record(self, kind: str, subject: str, detail: Any = None) -> None:
         if len(self.records) == self.capacity:
@@ -81,6 +80,6 @@ class Tracer:
 
 def trace(engine, kind: str, subject: str, detail: Any = None) -> None:
     """Emit a trace point if a tracer is installed; otherwise a no-op."""
-    tracer = getattr(engine, "_tracer", None)
+    tracer = engine._tracer
     if tracer is not None:
         tracer.record(kind, subject, detail)

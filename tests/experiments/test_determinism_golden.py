@@ -1,0 +1,51 @@
+"""Golden determinism: the optimized engine reproduces identical cells.
+
+The hot-path overhaul (ready queue, tuple-keyed heap, inlined scheduling)
+must be invisible to results: the same settings must produce the same
+``CellSummary`` content, the same result digest, and the same cell-cache
+key, run after run.  A drift in any of these would silently poison the
+persistent cell cache and every table built from it.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.policy import FRAME
+from repro.experiments.cellcache import cache_key
+from repro.experiments.cells import summarize, summary_digest
+from repro.experiments.runner import ExperimentSettings, run_experiment
+
+# Small but non-trivial: a crash mid-measure exercises fail-over,
+# recovery, and resend on top of the steady-state hot path.
+GOLDEN = ExperimentSettings(paper_total=4525, scale=0.02, policy=FRAME,
+                            seed=7, warmup=0.5, measure=1.5, grace=0.25,
+                            crash_at=0.75)
+
+
+def test_same_settings_same_summary_and_digest():
+    first = summarize(run_experiment(GOLDEN))
+    second = summarize(run_experiment(GOLDEN))
+    assert first == second
+    assert summary_digest(first) == summary_digest(second)
+
+
+def test_cache_key_is_stable_for_equal_settings():
+    # Equal settings values — even distinct objects — must map to the
+    # same cache slot, or warm lookups would miss and re-simulate.
+    assert cache_key(GOLDEN) == cache_key(replace(GOLDEN))
+
+
+def test_different_seed_changes_digest():
+    # Digest sensitivity: if this fails, the digest is not actually
+    # covering the measured results and the golden test above is vacuous.
+    base = summary_digest(summarize(run_experiment(GOLDEN)))
+    other = summary_digest(summarize(run_experiment(replace(GOLDEN, seed=8))))
+    assert base != other
+
+
+@pytest.mark.parametrize("crash_at", [None, 0.75])
+def test_fault_free_and_crash_cells_are_each_deterministic(crash_at):
+    settings = replace(GOLDEN, crash_at=crash_at)
+    assert (summary_digest(summarize(run_experiment(settings)))
+            == summary_digest(summarize(run_experiment(settings))))

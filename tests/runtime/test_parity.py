@@ -19,7 +19,7 @@ from tests.helpers import TEST_PARAMS, build_mini, topic
 def sim_plan(specs, policy):
     system = build_mini(specs, policy=policy)
     return {topic_id: pseudo_dr is not None
-            for topic_id, (_, pseudo_dr) in system.primary._plan.items()}
+            for topic_id, (_, pseudo_dr, _) in system.primary._plan.items()}
 
 
 def runtime_plan(specs, policy):

@@ -263,3 +263,66 @@ def test_run_finite_horizon_still_advances_clock():
     engine.call_at(1.0, lambda: None)
     assert engine.run(5.0) == 5.0
     assert engine.now == 5.0
+
+
+# ----------------------------------------------------------------------
+# Ready queue: same-time ordering and interleaving with heap entries
+# ----------------------------------------------------------------------
+def test_call_soon_runs_in_insertion_order():
+    engine = Engine()
+    seen = []
+    for tag in range(5):
+        engine.call_soon(seen.append, tag)
+    engine.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_ready_queue_interleaves_with_same_time_heap_entries_by_seq():
+    # Scheduling order (= seq order) must decide execution order even when
+    # the events are split between the ready deque (call_soon) and the
+    # heap (call_at at the current time, zero-delay call_after).
+    engine = Engine()
+    seen = []
+
+    def kickoff():
+        engine.call_soon(seen.append, "soon-1")
+        engine.call_at(engine.now, seen.append, "at-1")
+        engine.call_soon(seen.append, "soon-2")
+        engine.call_after(0.0, seen.append, "after-1")
+        engine.call_soon(seen.append, "soon-3")
+
+    engine.call_soon(kickoff)
+    engine.run()
+    assert seen == ["soon-1", "at-1", "soon-2", "after-1", "soon-3"]
+
+
+def test_ready_queue_runs_before_future_heap_entries():
+    engine = Engine()
+    seen = []
+    engine.call_after(0.1, seen.append, "later")
+    engine.call_soon(seen.append, "now")
+    engine.run()
+    assert seen == ["now", "later"]
+
+
+def test_cancelled_call_soon_is_skipped():
+    engine = Engine()
+    seen = []
+    handle = engine.call_soon(seen.append, "cancelled")
+    engine.call_soon(seen.append, "kept")
+    handle.cancel()
+    engine.run()
+    assert seen == ["kept"]
+
+
+def test_ready_events_scheduled_mid_run_fire_at_current_time():
+    engine = Engine()
+    times = []
+
+    def at_one():
+        engine.call_soon(lambda: times.append(engine.now))
+
+    engine.call_after(1.0, at_one)
+    engine.call_after(2.0, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [1.0, 2.0]

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Engine throughput benchmark: events/sec micro, cold-cell seconds macro.
+
+Micro benchmarks drive the two hot engine paths in isolation:
+
+* ``timer`` — a process sleeping in a tight ``yield Timeout`` loop, i.e.
+  the heap path (tuple-keyed entries, unchecked ``_after`` scheduling);
+* ``ready`` — two processes handing items over a pair of queues, i.e. the
+  same-time ready-queue path (``_soon`` resumes that bypass the heap).
+
+The macro benchmark runs one cold cell of the standard sweep grid (cache
+bypassed) and reports wall seconds plus end-to-end events/sec, which is
+the number that actually bounds ``--full`` paper-scale runs.
+
+Writes ``BENCH_engine.json`` at the repo root so the perf trajectory is
+tracked per PR.  ``--smoke`` shrinks every workload so CI can run the
+whole thing in a few seconds; numbers from a loaded CI box are noisy and
+only the committed (non-smoke) JSON should be compared across commits.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_engine.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+os.environ.setdefault("REPRO_CELL_CACHE", "off")
+
+from bench_sweep import SWEEP                                     # noqa: E402
+from repro.experiments.cells import summarize, summary_digest     # noqa: E402
+from repro.experiments.runner import run_experiment               # noqa: E402
+from repro.sim.engine import Engine                               # noqa: E402
+from repro.sim.process import Queue, Timeout                      # noqa: E402
+
+
+def bench_timer_path(events: int) -> float:
+    """Events/sec for a process sleeping in a ``yield Timeout`` loop."""
+    engine = Engine(seed=0)
+
+    def sleeper(n: int):
+        timeout = Timeout(1e-6)
+        for _ in range(n):
+            yield timeout
+
+    engine.spawn(sleeper(events))
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return events / elapsed
+
+
+def bench_ready_path(rounds: int) -> float:
+    """Events/sec for two processes ping-ponging over queues.
+
+    Every round is two ready-queue resumes (one per direction), so the
+    measured event count is ``2 * rounds``.
+    """
+    engine = Engine(seed=0)
+    ping, pong = Queue(engine), Queue(engine)
+
+    def left(n: int):
+        put = pong.put
+        get = ping.get()
+        put(0)
+        for _ in range(n):
+            yield get
+            put(0)
+
+    def right(n: int):
+        put = ping.put
+        get = pong.get()
+        for _ in range(n):
+            yield get
+            put(0)
+
+    engine.spawn(left(rounds))
+    engine.spawn(right(rounds))
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    return 2 * rounds / elapsed
+
+
+def bench_cold_cell(settings):
+    """Wall seconds + events/sec for one full uncached simulation cell."""
+    start = time.perf_counter()
+    result = run_experiment(settings)
+    summary = summarize(result)
+    elapsed = time.perf_counter() - start
+    events = result.primary_broker.engine._seq
+    return elapsed, events, summary_digest(summary)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads for CI (seconds, not minutes)")
+    parser.add_argument("--out", type=str,
+                        default=os.path.join(os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))), "BENCH_engine.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        timer_events, ready_rounds = 20_000, 10_000
+    else:
+        timer_events, ready_rounds = 300_000, 150_000
+    cell = SWEEP[0]
+
+    print(f"bench_engine: smoke={args.smoke}")
+    timer_eps = bench_timer_path(timer_events)
+    print(f"  timer (heap) path : {timer_eps:12,.0f} events/s")
+    ready_eps = bench_ready_path(ready_rounds)
+    print(f"  ready-queue path  : {ready_eps:12,.0f} events/s")
+    cell_seconds, cell_events, digest = bench_cold_cell(cell)
+    cell_eps = cell_events / cell_seconds
+    print(f"  cold cell (macro) : {cell_seconds:8.3f} s, "
+          f"{cell_events:,} events, {cell_eps:12,.0f} events/s")
+
+    report = {
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "micro": {
+            "timer_events_per_sec": round(timer_eps),
+            "ready_events_per_sec": round(ready_eps),
+            "timer_events": timer_events,
+            "ready_rounds": ready_rounds,
+        },
+        "macro": {
+            "cold_cell_seconds": round(cell_seconds, 4),
+            "cold_cell_events": cell_events,
+            "cold_cell_events_per_sec": round(cell_eps),
+            "cell": {
+                "policy": cell.policy.name,
+                "seed": cell.seed,
+                "crash_at": cell.crash_at,
+                "paper_total": cell.paper_total,
+                "scale": cell.scale,
+            },
+            "digest": digest,
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

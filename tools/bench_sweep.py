@@ -45,12 +45,16 @@ SWEEP = [replace(BASE, policy=policy, seed=seed, crash_at=crash_at)
          for crash_at in (None, BASE.measure / 2.0)]
 
 
-def _timed(label: str, fn) -> float:
+def _timed(label: str, fn):
     start = time.perf_counter()
-    fn()
+    result = fn()
     elapsed = time.perf_counter() - start
     print(f"  {label:<24s} {elapsed:8.3f} s")
-    return elapsed
+    return elapsed, result
+
+
+def _digests(summaries) -> list:
+    return [cells.summary_digest(summary) for summary in summaries]
 
 
 def main(argv=None) -> int:
@@ -73,20 +77,31 @@ def main(argv=None) -> int:
     try:
         cells.clear_cache()
         cellcache.clear_disk_cache()
-        serial_cold = _timed("serial cold",
-                             lambda: run_cells(SWEEP, jobs=1))
+        serial_cold, serial_summaries = _timed(
+            "serial cold", lambda: run_cells(SWEEP, jobs=1))
+        digests = _digests(serial_summaries)
 
         cells.clear_cache()
         cellcache.clear_disk_cache()
-        parallel_cold = _timed(f"parallel cold (x{args.jobs})",
-                               lambda: run_cells(SWEEP, jobs=args.jobs))
+        parallel_cold, parallel_summaries = _timed(
+            f"parallel cold (x{args.jobs})",
+            lambda: run_cells(SWEEP, jobs=args.jobs))
 
-        warm_memory = _timed("warm (memory)",
-                             lambda: run_cells(SWEEP, jobs=args.jobs))
+        warm_memory, warm_summaries = _timed(
+            "warm (memory)", lambda: run_cells(SWEEP, jobs=args.jobs))
 
         cells.clear_cache()          # fresh-process equivalent: disk only
-        warm_disk = _timed("warm (disk)",
-                           lambda: run_cells(SWEEP, jobs=args.jobs))
+        warm_disk, disk_summaries = _timed(
+            "warm (disk)", lambda: run_cells(SWEEP, jobs=args.jobs))
+
+        # Determinism check: every pass (serial, parallel, both warm paths)
+        # must reproduce the exact same per-cell results.
+        digests_consistent = all(
+            _digests(summaries) == digests
+            for summaries in (parallel_summaries, warm_summaries,
+                              disk_summaries))
+        if not digests_consistent:
+            print("WARNING: cell digests differ across passes", file=sys.stderr)
     finally:
         cellcache.set_cache_dir(None)
         shutil.rmtree(cache_root, ignore_errors=True)
@@ -113,6 +128,10 @@ def main(argv=None) -> int:
             "parallel_vs_serial": round(serial_cold / parallel_cold, 3),
             "warm_disk_vs_serial_cold": round(serial_cold / warm_disk, 1),
         },
+        # Per-cell result digests (input order): identical digests across
+        # code versions mean an optimization changed nothing observable.
+        "digests": digests,
+        "digests_consistent_across_passes": digests_consistent,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)

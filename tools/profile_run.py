@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Profile a single simulation cell under cProfile.
+
+Runs one cell of the standard benchmark sweep (the same 12-cell grid as
+``tools/bench_sweep.py``) with the cell cache bypassed, and prints the
+top-N entries by cumulative time — the first place to look when the
+per-event cost of the engine regresses.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_run.py [--cell N] [--top N]
+                                               [--sort cumulative|tottime]
+                                               [--json PATH]
+
+``--cell`` indexes the sweep grid (policy x seed x crash); ``--json``
+additionally writes the rows as machine-readable JSON so a profile can be
+diffed across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import os
+import pstats
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+os.environ.setdefault("REPRO_CELL_CACHE", "off")
+
+from bench_sweep import SWEEP                                     # noqa: E402
+from repro.experiments.cells import summarize, summary_digest     # noqa: E402
+from repro.experiments.runner import run_experiment               # noqa: E402
+
+
+def _stats_rows(stats: pstats.Stats, top: int) -> list:
+    """Flatten a pstats table into JSON-friendly rows (already sorted)."""
+    rows = []
+    for func in stats.fcn_list[:top]:                  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[func]   # type: ignore[attr-defined]
+        filename, line, name = func
+        rows.append({
+            "function": f"{filename}:{line}({name})",
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime": round(tt, 6),
+            "cumtime": round(ct, 6),
+        })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cell", type=int, default=0,
+                        help=f"sweep cell index, 0..{len(SWEEP) - 1} "
+                             "(default: 0)")
+    parser.add_argument("--top", type=int, default=30,
+                        help="number of rows to show (default: 30)")
+    parser.add_argument("--sort", choices=("cumulative", "tottime"),
+                        default="cumulative",
+                        help="stat to sort by (default: cumulative)")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="also write the rows as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    if not 0 <= args.cell < len(SWEEP):
+        parser.error(f"--cell must be in 0..{len(SWEEP) - 1}")
+    settings = SWEEP[args.cell]
+    print(f"profiling cell {args.cell}: policy={settings.policy.name} "
+          f"seed={settings.seed} crash_at={settings.crash_at}")
+
+    profile = cProfile.Profile()
+    start = time.perf_counter()
+    profile.enable()
+    result = run_experiment(settings)
+    summary = summarize(result)
+    profile.disable()
+    elapsed = time.perf_counter() - start
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profile, stream=stream)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    print(stream.getvalue())
+    digest = summary_digest(summary)
+    print(f"cell wall time (profiled): {elapsed:.3f} s")
+    print(f"result digest            : {digest}")
+
+    if args.json:
+        report = {
+            "cell": args.cell,
+            "policy": settings.policy.name,
+            "seed": settings.seed,
+            "crash_at": settings.crash_at,
+            "sort": args.sort,
+            "profiled_seconds": round(elapsed, 4),
+            "digest": digest,
+            "rows": _stats_rows(stats, args.top),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
