@@ -6,6 +6,13 @@ the Backup, re-sending all retained messages first (the fail-over path).
 
 A :class:`Subscriber` connects to both brokers, subscribes its topics on
 each, deduplicates deliveries by ``(topic, seq)``, and invokes a callback.
+
+Data plane: both clients advertise the binary codec in their ``hello``
+(disable with ``binary=False``) and the publisher corks its steady-state
+send loop — ``publish()`` appends to a bounded pending queue that a
+flusher task drains in batches of one ``write`` + ``drain`` each, so a
+hot publisher pays the event-loop round trip once per *batch* instead of
+once per message.  ``cork=False`` restores the write-per-publish path.
 """
 
 from __future__ import annotations
@@ -13,14 +20,18 @@ from __future__ import annotations
 import asyncio
 import logging
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from typing import (Callable, Deque, Dict, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
 
 from repro.core.buffers import RingBuffer
 from repro.core.model import Message, TopicSpec
 from repro.runtime.wire import (
+    BINARY_CODEC,
+    FrameReader,
     ProtocolError,
     decode_message,
-    encode_message,
+    encode_frames,
     read_frame,
     write_frame,
 )
@@ -48,12 +59,19 @@ async def fetch_stats(address: Address, timeout: float = 2.0) -> Dict[str, objec
 class Publisher:
     """A publisher proxy for a set of topics."""
 
+    #: Frames corked into one write by the flusher task.
+    MAX_CORK = 128
+
     def __init__(self, specs: Sequence[TopicSpec], primary: Address,
                  backup: Address, publisher_id: str = "publisher",
                  poll_interval: float = 0.2, reply_timeout: float = 0.2,
-                 miss_threshold: int = 3):
+                 miss_threshold: int = 3, binary: bool = True,
+                 cork: bool = True, pending_limit: int = 256,
+                 hello_timeout: float = 0.25):
         if not specs:
             raise ValueError("publisher needs at least one topic")
+        if pending_limit < 1:
+            raise ValueError("pending_limit must be >= 1")
         self.specs = list(specs)
         self.publisher_id = publisher_id
         self.addresses = [primary, backup]
@@ -61,22 +79,41 @@ class Publisher:
         self.poll_interval = poll_interval
         self.reply_timeout = reply_timeout
         self.miss_threshold = miss_threshold
+        self.binary = binary
+        self.cork = cork
+        self.pending_limit = pending_limit
+        self.hello_timeout = hello_timeout
         self.failed_over = asyncio.Event()
         self._retention: Dict[int, RingBuffer] = {
             spec.topic_id: RingBuffer(spec.retention) for spec in self.specs
         }
         self._seq: Dict[int, int] = {spec.topic_id: 0 for spec in self.specs}
         self._writer: Optional[asyncio.StreamWriter] = None
-        self._reader: Optional[asyncio.StreamReader] = None
+        self._frames: Optional[FrameReader] = None
+        self._binary_active = False
         self._watch_task: Optional[asyncio.Task] = None
+        self._flush_task: Optional[asyncio.Task] = None
         self._periodic_tasks: List[asyncio.Task] = []
         self._lock = asyncio.Lock()
+        self._pending: Deque[Dict[str, object]] = deque()
+        self._pending_event = asyncio.Event()
+        self._space_event = asyncio.Event()
+        self._space_event.set()
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
         self.send_failures = 0
         self.reconnects = 0
+        self.frames_sent = 0
+        self.bytes_sent = 0
 
     @property
     def current_target(self) -> Address:
         return self.addresses[self.target_index]
+
+    @property
+    def binary_active(self) -> bool:
+        """True while the current connection negotiated the binary codec."""
+        return self._binary_active
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -84,7 +121,8 @@ class Publisher:
         self._watch_task = asyncio.create_task(self._watch())
 
     async def close(self) -> None:
-        for task in [self._watch_task] + self._periodic_tasks:
+        for task in ([self._watch_task, self._flush_task]
+                     + self._periodic_tasks):
             if task is None:
                 continue
             task.cancel()
@@ -122,8 +160,26 @@ class Publisher:
 
     async def _connect(self) -> None:
         host, port = self.current_target
-        self._reader, self._writer = await asyncio.open_connection(host, port)
-        await write_frame(self._writer, {"type": "hello", "role": "publisher"})
+        reader, self._writer = await asyncio.open_connection(host, port)
+        self._frames = FrameReader(reader)
+        self._binary_active = False
+        hello = {"type": "hello", "role": "publisher",
+                 "publisher": self.publisher_id}
+        if self.binary:
+            hello["codecs"] = [BINARY_CODEC]
+        await write_frame(self._writer, hello)
+        if self.binary:
+            # A codec-capable broker acks immediately; an old broker
+            # never will, so a short timeout keeps it JSON-only without
+            # stalling (re)connects by more than ``hello_timeout``.
+            try:
+                frame = await asyncio.wait_for(self._frames.read_frame(),
+                                               timeout=self.hello_timeout)
+            except asyncio.TimeoutError:
+                frame = None
+            if frame is not None and frame.get("type") == "hello_ack" \
+                    and frame.get("codec") == BINARY_CODEC:
+                self._binary_active = True
 
     # ------------------------------------------------------------------
     async def publish(self, payloads: Dict[int, object]) -> List[Message]:
@@ -132,12 +188,18 @@ class Publisher:
         Returns the created messages (sequence numbers assigned).
         Messages are retained regardless of send success, so a crash of
         the current target never loses more than the retention allows.
+
+        With corking enabled the frame is queued for the flusher task
+        and this returns as soon as there is room in the bounded pending
+        queue (backpressure: a slower broker paces a hot publisher);
+        :meth:`flush` awaits the queue hitting the socket.
         """
+        for topic_id in payloads:
+            if topic_id not in self._seq:
+                raise KeyError(f"topic {topic_id} not registered on this publisher")
         created_at = time.time()
         batch: List[Message] = []
         for topic_id, payload in payloads.items():
-            if topic_id not in self._seq:
-                raise KeyError(f"topic {topic_id} not registered on this publisher")
             self._seq[topic_id] += 1
             message = Message(topic_id, self._seq[topic_id], created_at,
                               data=payload)
@@ -146,18 +208,55 @@ class Publisher:
         await self._send_batch(batch, resend=False)
         return batch
 
+    async def flush(self) -> None:
+        """Wait until every queued frame reached the socket (or failed)."""
+        await self._idle_event.wait()
+
     async def _send_batch(self, batch: List[Message], resend: bool) -> None:
         frame = {
             "type": "publish",
             "publisher": self.publisher_id,
             "resend": resend,
-            "messages": [encode_message(m) for m in batch],
+            "messages": batch,   # Message objects; both codecs accept them
         }
+        if not self.cork:
+            await self._write_frames([frame])
+            return
+        while len(self._pending) >= self.pending_limit:
+            self._space_event.clear()
+            await self._space_event.wait()
+        self._pending.append(frame)
+        self._idle_event.clear()
+        self._pending_event.set()
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = asyncio.create_task(self._flush_loop())
+
+    async def _flush_loop(self) -> None:
+        """Drain the pending queue in corked batches, one drain each."""
+        pending = self._pending
+        while True:
+            if not pending:
+                self._idle_event.set()
+                self._pending_event.clear()
+                await self._pending_event.wait()
+                continue
+            batch = []
+            while pending and len(batch) < self.MAX_CORK:
+                batch.append(pending.popleft())
+            self._space_event.set()
+            try:
+                await self._write_frames(batch)
+            except ProtocolError:   # oversized frame; messages stay retained
+                self.send_failures += len(batch)
+            if not pending:
+                self._idle_event.set()
+
+    async def _write_frames(self, frames: List[Dict[str, object]]) -> None:
         async with self._lock:
             # One transparent reconnect-and-retry: a broker restart (or an
             # idle-connection drop) should cost one frame's latency, not a
             # full fail-over.  A genuinely dead broker fails both attempts
-            # and the batch stays retained for the fail-over path.
+            # and the frames stay retained for the fail-over path.
             for attempt in range(2):
                 if self._writer is None:
                     try:
@@ -166,13 +265,21 @@ class Publisher:
                     except OSError:
                         break
                 try:
-                    await write_frame(self._writer, frame)
+                    # Encode under the current connection's codec (it can
+                    # change across the reconnect), cork the whole batch
+                    # into one write + drain.
+                    blob = encode_frames(frames, binary=self._binary_active)
+                    self._writer.write(blob)
+                    await self._writer.drain()
+                    self.frames_sent += len(frames)
+                    self.bytes_sent += len(blob)
                     return
                 except (ConnectionResetError, OSError):
                     self._writer.close()
                     self._writer = None
-            self.send_failures += 1
-            logger.warning("%s: send failed; batch retained", self.publisher_id)
+            self.send_failures += len(frames)
+            logger.warning("%s: send failed; %d frame(s) retained",
+                           self.publisher_id, len(frames))
 
     # ------------------------------------------------------------------
     async def _watch(self) -> None:
@@ -186,7 +293,7 @@ class Publisher:
                     if self._writer is None:
                         raise ConnectionResetError
                     await write_frame(self._writer, {"type": "ping", "nonce": nonce})
-                    frame = await asyncio.wait_for(read_frame(self._reader),
+                    frame = await asyncio.wait_for(self._read_reply(),
                                                    timeout=self.reply_timeout)
                 if frame is None or frame.get("type") != "pong":
                     raise ConnectionResetError("bad pong")
@@ -197,6 +304,16 @@ class Publisher:
                 if misses >= self.miss_threshold and self.target_index == 0:
                     await self._fail_over()
                     return
+
+    async def _read_reply(self) -> Optional[Dict[str, object]]:
+        """Next non-handshake frame (a late ``hello_ack`` upgrades us)."""
+        while True:
+            frame = await self._frames.read_frame()
+            if frame is not None and frame.get("type") == "hello_ack":
+                if frame.get("codec") == BINARY_CODEC and self.binary:
+                    self._binary_active = True
+                continue
+            return frame
 
     async def _fail_over(self) -> None:
         """Redirect to the Backup and re-send every retained message."""
@@ -215,6 +332,7 @@ class Publisher:
             retained.extend(ring.snapshot())
         if retained:
             await self._send_batch(retained, resend=True)
+            await self.flush()
         self.failed_over.set()
 
 
@@ -223,16 +341,25 @@ class Subscriber:
 
     def __init__(self, topics: Iterable[int], primary: Address, backup: Address,
                  on_message: Optional[Callable[[Message], None]] = None,
-                 name: str = "subscriber"):
+                 name: str = "subscriber", binary: bool = True):
         self.topics = list(topics)
         self.addresses = [primary, backup]
         self.on_message = on_message
         self.name = name
+        self.binary = binary
         self.received: Dict[int, Dict[int, float]] = {t: {} for t in self.topics}
         self.duplicates = 0
         self.reconnects = 0
         self._tasks: List[asyncio.Task] = []
         self._writers: List[asyncio.StreamWriter] = []
+        self._frame_readers: List[FrameReader] = []
+        self._bytes_closed = 0
+
+    @property
+    def bytes_received(self) -> int:
+        """Raw wire bytes consumed across all broker connections."""
+        return self._bytes_closed + sum(fr.bytes_received
+                                        for fr in self._frame_readers)
 
     async def start(self) -> None:
         for address in self.addresses:
@@ -255,6 +382,11 @@ class Subscriber:
     async def _listen(self, address: Address) -> None:
         host, port = address
         connected_before = False
+        hello = {"type": "hello", "role": "subscriber"}
+        if self.binary:
+            # Advertise that our reader accepts binary deliver frames;
+            # the broker switches this connection's fan-out accordingly.
+            hello["codecs"] = [BINARY_CODEC]
         while True:
             try:
                 reader, writer = await asyncio.open_connection(host, port)
@@ -265,11 +397,13 @@ class Subscriber:
                 self.reconnects += 1
             connected_before = True
             self._writers.append(writer)
+            frames = FrameReader(reader)
+            self._frame_readers.append(frames)
             try:
-                await write_frame(writer, {"type": "hello", "role": "subscriber"})
+                await write_frame(writer, hello)
                 await write_frame(writer, {"type": "subscribe", "topics": self.topics})
                 while True:
-                    frame = await read_frame(reader)
+                    frame = await frames.read_frame()
                     if frame is None:
                         break
                     if frame["type"] == "deliver":
@@ -280,6 +414,9 @@ class Subscriber:
                 writer.close()
                 if writer in self._writers:
                     self._writers.remove(writer)
+                if frames in self._frame_readers:
+                    self._bytes_closed += frames.bytes_received
+                    self._frame_readers.remove(frames)
             await asyncio.sleep(0.1)   # reconnect (e.g. broker restarted)
 
     def _on_deliver(self, message: Message) -> None:

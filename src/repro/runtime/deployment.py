@@ -37,7 +37,8 @@ class LocalDeployment:
                  host: str = "127.0.0.1",
                  poll_interval: float = 0.1,
                  reply_timeout: float = 0.3,
-                 miss_threshold: int = 3):
+                 miss_threshold: int = 3,
+                 broker_overrides: Optional[Dict[str, object]] = None):
         if not specs:
             raise ValueError("a deployment needs at least one topic")
         self.specs = list(specs)
@@ -51,6 +52,10 @@ class LocalDeployment:
         self.poll_interval = poll_interval
         self.reply_timeout = reply_timeout
         self.miss_threshold = miss_threshold
+        #: Extra :class:`RuntimeBrokerConfig` fields applied to every broker
+        #: this deployment creates (e.g. ``enable_binary_codec``,
+        #: ``batch_dispatch``, ``journal_group_commit`` for benchmarking).
+        self.broker_overrides = dict(broker_overrides or {})
         self.primary: Optional[BrokerServer] = None
         self.backup: Optional[BrokerServer] = None
         self._publishers: List[Publisher] = []
@@ -97,8 +102,13 @@ class LocalDeployment:
             raise RuntimeError("deployment not started")
 
     async def add_publisher(self, specs: Optional[Sequence[TopicSpec]] = None,
-                            publisher_id: Optional[str] = None) -> Publisher:
-        """Attach a publisher proxy for ``specs`` (default: all topics)."""
+                            publisher_id: Optional[str] = None,
+                            **client_kwargs) -> Publisher:
+        """Attach a publisher proxy for ``specs`` (default: all topics).
+
+        ``client_kwargs`` are forwarded to :class:`Publisher` (e.g.
+        ``binary=False``, ``cork=False`` for benchmarking baselines).
+        """
         self._require_started()
         publisher = Publisher(
             list(specs) if specs is not None else self.specs,
@@ -107,6 +117,7 @@ class LocalDeployment:
             poll_interval=self.poll_interval,
             reply_timeout=self.reply_timeout,
             miss_threshold=self.miss_threshold,
+            **client_kwargs,
         )
         await publisher.start()
         self._publishers.append(publisher)
@@ -114,14 +125,19 @@ class LocalDeployment:
 
     async def add_subscriber(self, topic_ids: Optional[Iterable[int]] = None,
                              on_message=None,
-                             name: Optional[str] = None) -> Subscriber:
-        """Attach a subscriber for ``topic_ids`` (default: all topics)."""
+                             name: Optional[str] = None,
+                             **client_kwargs) -> Subscriber:
+        """Attach a subscriber for ``topic_ids`` (default: all topics).
+
+        ``client_kwargs`` are forwarded to :class:`Subscriber`.
+        """
         self._require_started()
         subscriber = Subscriber(
             list(topic_ids) if topic_ids is not None else list(self.topics),
             self.primary.address, self.backup.address,
             on_message=on_message,
             name=name or f"subscriber-{len(self._subscribers)}",
+            **client_kwargs,
         )
         await subscriber.start()
         self._subscribers.append(subscriber)
@@ -137,6 +153,7 @@ class LocalDeployment:
                     poll_interval=self.poll_interval,
                     reply_timeout=self.reply_timeout,
                     miss_threshold=self.miss_threshold)
+        base.update(self.broker_overrides)
         base.update(overrides)
         return RuntimeBrokerConfig(**base)
 

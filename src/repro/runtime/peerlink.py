@@ -32,7 +32,14 @@ import time
 from collections import deque
 from typing import Any, Awaitable, Callable, Deque, Dict, Optional, Tuple
 
-from repro.runtime.wire import ProtocolError, read_frame, write_frame, write_frames
+from repro.runtime.wire import (
+    BINARY_CODEC,
+    FrameReader,
+    ProtocolError,
+    encode_frames,
+    write_frame,
+    write_frames,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -48,7 +55,8 @@ class PeerLink:
                  backoff_initial: float = 0.05, backoff_max: float = 2.0,
                  backoff_factor: float = 2.0, backoff_jitter: float = 0.1,
                  queue_limit: int = 256,
-                 on_connected: Optional[Callable[[bool], Awaitable[None]]] = None):
+                 on_connected: Optional[Callable[[bool], Awaitable[None]]] = None,
+                 binary: bool = True, hello_timeout: float = 0.25):
         if backoff_initial <= 0 or backoff_max < backoff_initial:
             raise ValueError("backoff bounds must satisfy 0 < initial <= max")
         if backoff_factor < 1.0:
@@ -63,6 +71,8 @@ class PeerLink:
         self.backoff_jitter = backoff_jitter
         self.queue_limit = queue_limit
         self.on_connected = on_connected
+        self.binary = binary
+        self.hello_timeout = hello_timeout
         self.state = DISCONNECTED
         self.connects = 0            # successful connection establishments
         self.disconnects = 0         # established connections that dropped
@@ -79,6 +89,17 @@ class PeerLink:
         self._connected_event = asyncio.Event()
         self._retry_now = asyncio.Event()
         self._closed = False
+        self._binary_active = False
+        # Steady-state cork: frames accepted while connected accumulate
+        # here and a dedicated flusher task writes everything pending in
+        # one write+drain — one event-loop round trip amortized over the
+        # whole batch instead of paid per frame.
+        self._cork: Deque[Dict[str, Any]] = deque()
+        self._cork_limit = queue_limit if queue_limit > 0 else self.FLUSH_BATCH
+        self._cork_event = asyncio.Event()
+        self._cork_space = asyncio.Event()
+        self._cork_space.set()
+        self._flush_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     @property
@@ -93,16 +114,19 @@ class PeerLink:
         if self._task is not None:
             raise RuntimeError("peer link already started")
         self._task = asyncio.create_task(self._run())
+        self._flush_task = asyncio.create_task(self._flush_loop())
 
     async def stop(self) -> None:
         self._closed = True
-        if self._task is not None:
-            self._task.cancel()
-            try:
-                await self._task
-            except (asyncio.CancelledError, Exception):
-                pass
-            self._task = None
+        for task_name in ("_task", "_flush_task"):
+            task = getattr(self, task_name)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+                setattr(self, task_name, None)
         self._drop_writer()
         self.state = DISCONNECTED
 
@@ -117,26 +141,27 @@ class PeerLink:
 
     # ------------------------------------------------------------------
     async def send(self, frame: Dict[str, Any]) -> bool:
-        """Write ``frame`` to the peer; queue it when disconnected.
+        """Hand ``frame`` to the connected link; queue it when disconnected.
 
-        Returns ``True`` only when the frame actually reached the socket
-        buffer — a queued or dropped frame returns ``False``, so callers
-        can keep honest "replicated" bookkeeping.
+        While connected the frame joins the steady-state cork and the
+        flusher task writes everything pending in one ``write``+``drain``
+        (a write failure migrates the cork into the outage queue, so the
+        frame is still flushed on reconnect).  A queued or dropped frame
+        returns ``False``, so callers can keep honest "replicated"
+        bookkeeping.  A full cork blocks the caller — the same TCP
+        backpressure a per-frame drain used to apply.
         """
-        writer = self._writer
-        if writer is None:
+        if self._writer is None:
             self._enqueue(frame)
             return False
-        try:
-            await write_frame(writer, frame)
-        except (OSError, ProtocolError) as exc:
-            self.last_error = str(exc) or type(exc).__name__
-            logger.warning("%s: peer write failed: %s", self.name, exc)
-            self._drop_writer()
-            self._retry_now.set()
+        while len(self._cork) >= self._cork_limit and self._writer is not None:
+            self._cork_space.clear()
+            await self._cork_space.wait()
+        if self._writer is None:
             self._enqueue(frame)
             return False
-        self.frames_sent += 1
+        self._cork.append(frame)
+        self._cork_event.set()
         return True
 
     def _enqueue(self, frame: Dict[str, Any]) -> None:
@@ -171,7 +196,7 @@ class PeerLink:
             batch = [queue.popleft()
                      for _ in range(min(len(queue), self.FLUSH_BATCH))]
             try:
-                await write_frames(writer, batch)
+                await write_frames(writer, batch, binary=self._binary_active)
             except (OSError, ProtocolError) as exc:
                 queue.extendleft(reversed(batch))   # went down again; keep order
                 self.last_error = str(exc) or type(exc).__name__
@@ -181,6 +206,45 @@ class PeerLink:
             flushed += len(batch)
         return flushed
 
+    async def _flush_loop(self) -> None:
+        """Drain the steady-state cork: one write+drain per pending batch.
+
+        Runs for the lifetime of the link.  When the connection drops,
+        anything still corked migrates into the outage queue (preserving
+        order) so it is flushed on the next reconnect.
+        """
+        cork = self._cork
+        while True:
+            await self._cork_event.wait()
+            self._cork_event.clear()
+            while cork:
+                writer = self._writer
+                if writer is None:
+                    while cork:
+                        self._enqueue(cork.popleft())
+                    self._cork_space.set()
+                    break
+                batch = [cork.popleft()
+                         for _ in range(min(len(cork), self.FLUSH_BATCH))]
+                self._cork_space.set()
+                try:
+                    blob = encode_frames(batch, binary=self._binary_active)
+                except ProtocolError as exc:   # oversized frame: unsendable
+                    self.last_error = str(exc) or type(exc).__name__
+                    self.frames_dropped += len(batch)
+                    continue
+                try:
+                    writer.write(blob)
+                    await writer.drain()
+                except OSError as exc:
+                    self.last_error = str(exc) or type(exc).__name__
+                    logger.warning("%s: peer write failed: %s", self.name, exc)
+                    cork.extendleft(reversed(batch))   # migrate via outage path
+                    self._drop_writer()
+                    self._retry_now.set()
+                    continue
+                self.frames_sent += len(batch)
+
     # ------------------------------------------------------------------
     async def _run(self) -> None:
         backoff = self.backoff_initial
@@ -189,13 +253,30 @@ class PeerLink:
             self.state = CONNECTING
             try:
                 reader, writer = await asyncio.open_connection(*self.address)
-                await write_frame(writer, {"type": "hello", "role": "peer"})
+                hello: Dict[str, Any] = {"type": "hello", "role": "peer"}
+                if self.binary:
+                    hello["codecs"] = [BINARY_CODEC]
+                await write_frame(writer, hello)
             except OSError as exc:
                 self.connect_failures += 1
                 self.last_error = str(exc) or type(exc).__name__
                 await self._sleep_backoff(backoff)
                 backoff = min(backoff * self.backoff_factor, self.backoff_max)
                 continue
+            frames = FrameReader(reader)
+            self._binary_active = False
+            if self.binary:
+                # Give the peer one beat to ack the codec so the resync
+                # flush already goes out binary; a silent or legacy peer
+                # just leaves the link on JSON.
+                try:
+                    ack = await asyncio.wait_for(frames.read_frame(),
+                                                 timeout=self.hello_timeout)
+                except (asyncio.TimeoutError, OSError, ProtocolError):
+                    ack = None
+                if (isinstance(ack, dict) and ack.get("type") == "hello_ack"
+                        and ack.get("codec") == BINARY_CODEC):
+                    self._binary_active = True
             self._writer = writer
             self.state = CONNECTED
             self.connects += 1
@@ -215,12 +296,18 @@ class PeerLink:
                     logger.exception("%s: on_connected hook failed", self.name)
             first = False
             # Watch the connection for EOF / errors (liveness). Inbound
-            # frames (e.g. pongs) are drained and ignored.
+            # frames are drained; a late hello_ack upgrades the codec,
+            # everything else (e.g. pongs) is ignored.
             try:
                 while self._writer is writer:
-                    frame = await read_frame(reader)
+                    frame = await frames.read_frame()
                     if frame is None:
                         break
+                    if (isinstance(frame, dict)
+                            and frame.get("type") == "hello_ack"
+                            and frame.get("codec") == BINARY_CODEC
+                            and self.binary):
+                        self._binary_active = True
             except (OSError, ProtocolError):
                 pass
             if not self._closed:
@@ -241,7 +328,14 @@ class PeerLink:
     def _drop_writer(self) -> None:
         writer, self._writer = self._writer, None
         self.state = DISCONNECTED
+        self._binary_active = False
         self._connected_event.clear()
+        # Wake anyone blocked on a full cork (they re-check the writer and
+        # fall back to the outage queue) and migrate corked frames into
+        # the outage queue so the next reconnect flushes them in order.
+        self._cork_space.set()
+        while self._cork:
+            self._enqueue(self._cork.popleft())
         if writer is not None:
             try:
                 writer.close()
@@ -254,6 +348,7 @@ class PeerLink:
         return {
             "address": list(self.address),
             "state": self.state,
+            "codec": BINARY_CODEC if self._binary_active else "json",
             "connects": self.connects,
             "reconnects": max(0, self.connects - 1),
             "disconnects": self.disconnects,

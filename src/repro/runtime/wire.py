@@ -1,9 +1,40 @@
-"""Wire protocol: length-prefixed JSON frames over TCP.
+"""Wire protocol: length-prefixed frames over TCP, JSON or binary.
 
-Every frame is a 4-byte big-endian length followed by a UTF-8 JSON
-object with a ``"type"`` discriminator.  JSON keeps the protocol
-inspectable with standard tools; the 16-byte payloads of the paper's
-workloads make encoding cost irrelevant here.
+Every frame is a 4-byte big-endian length followed by the frame payload.
+Two payload codecs share that framing:
+
+* **JSON** (the original codec): a UTF-8 JSON object with a ``"type"``
+  discriminator.  Inspectable with standard tools, and the only codec
+  low-rate frames (``hello``, ``subscribe``, ``stats``, ``ping``/``pong``)
+  ever use — so the control plane stays debuggable.
+* **Binary** (``bin1``): a ``struct``-packed fast path for the four
+  high-rate data-plane frame types — ``publish``, ``deliver``,
+  ``replica``, and ``prune`` — whose per-message JSON encode/decode cost
+  dominates small-payload edge workloads (the paper's 16-byte messages).
+
+The codecs are *self-describing on the wire*: a JSON payload always
+starts with ``{`` (0x7B) while a binary payload always starts with the
+marker byte 0x00, so any reader accepts both transparently.  Negotiation
+is therefore only needed for the *sending* direction: a peer may emit
+binary frames once the other side has advertised (``hello`` with
+``"codecs": ["bin1"]``) or acknowledged (``hello_ack``) the codec; JSON
+remains the universal fallback, which keeps old clients, the journal,
+and debug tooling working unchanged.
+
+Binary layouts (big-endian, after the 4-byte length prefix)::
+
+    message   := topic:u32 seq:u64 created_at:f64 payload
+    payload   := 0x00                      (None)
+               | 0x01 len:u32 utf8-bytes   (str)
+               | 0x02 len:u32 json-bytes   (any other JSON value)
+    publish   := 0x00 0x01 flags:u8 count:u16 message*   (flags bit0 = resend)
+    deliver   := 0x00 0x02 message
+    replica   := 0x00 0x03 flags:u8 [arrived_at:f64] message  (bit0 = stamped)
+    prune     := 0x00 0x04 topic:u32 seq:u64
+
+A frame that does not fit the binary schema (unknown type, huge batch,
+out-of-range ids) silently falls back to JSON inside the same stream —
+mixed-codec streams are legal and the reader handles them per frame.
 """
 
 from __future__ import annotations
@@ -11,14 +42,38 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.model import Message
 
 #: Upper bound on a single frame; protects brokers from rogue peers.
 MAX_FRAME_BYTES = 4 * 1024 * 1024
 
+#: Name of the binary codec advertised in ``hello`` frames and echoed in
+#: ``hello_ack``; bump when the binary layout changes incompatibly.
+BINARY_CODEC = "bin1"
+
 _LENGTH = struct.Struct(">I")
+
+#: First payload byte of every binary frame.  JSON object payloads start
+#: with ``{`` (0x7B), so 0x00 can never be mistaken for JSON.
+_BIN_MARKER = 0x00
+_BIN_PUBLISH = 0x01
+_BIN_DELIVER = 0x02
+_BIN_REPLICA = 0x03
+_BIN_PRUNE = 0x04
+
+_PAYLOAD_NONE = 0x00
+_PAYLOAD_STR = 0x01
+_PAYLOAD_JSON = 0x02
+
+_MESSAGE = struct.Struct(">IQd")       # topic, seq, created_at
+_U32 = struct.Struct(">I")
+_PUBLISH_HEAD = struct.Struct(">BBBH")  # marker, kind, flags, count
+_DELIVER_HEAD = struct.Struct(">BB")
+_REPLICA_HEAD = struct.Struct(">BBB")   # marker, kind, flags
+_PRUNE = struct.Struct(">BBIQ")         # marker, kind, topic, seq
+_F64 = struct.Struct(">d")
 
 
 class ProtocolError(Exception):
@@ -34,7 +89,15 @@ def encode_message(message: Message) -> Dict[str, Any]:
     }
 
 
-def decode_message(obj: Dict[str, Any]) -> Message:
+def decode_message(obj) -> Message:
+    """Normalize a wire message to a :class:`Message`.
+
+    Binary frames decode straight to ``Message`` objects while JSON
+    frames carry dicts; accepting both here lets every consumer stay
+    codec-agnostic.
+    """
+    if type(obj) is Message:
+        return obj
     try:
         return Message(
             topic_id=int(obj["topic"]),
@@ -46,16 +109,99 @@ def decode_message(obj: Dict[str, Any]) -> Message:
         raise ProtocolError(f"bad message object: {obj!r}") from exc
 
 
-def encode_frames(frames: Iterable[Dict[str, Any]]) -> bytes:
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _json_default(obj):
+    if type(obj) is Message:
+        return encode_message(obj)
+    raise TypeError(f"not JSON serializable: {obj!r}")
+
+
+def _pack_payload(parts: List[bytes], data) -> bool:
+    """Append the payload encoding of ``data``; False if it cannot fit."""
+    if data is None:
+        parts.append(b"\x00")
+    elif type(data) is str:
+        blob = data.encode("utf-8")
+        if len(blob) > MAX_FRAME_BYTES:
+            return False
+        parts.append(b"\x01" + _U32.pack(len(blob)))
+        parts.append(blob)
+    else:
+        try:
+            blob = json.dumps(data, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError):
+            return False
+        if len(blob) > MAX_FRAME_BYTES:
+            return False
+        parts.append(b"\x02" + _U32.pack(len(blob)))
+        parts.append(blob)
+    return True
+
+
+def _pack_message(parts: List[bytes], obj) -> bool:
+    message = obj if type(obj) is Message else decode_message(obj)
+    topic, seq = message.topic_id, message.seq
+    if not (0 <= topic < 1 << 32 and 0 <= seq < 1 << 64):
+        return False
+    parts.append(_MESSAGE.pack(topic, seq, message.created_at))
+    return _pack_payload(parts, message.data)
+
+
+def _encode_binary(frame: Dict[str, Any]) -> Optional[bytes]:
+    """Binary payload for ``frame``, or ``None`` if it must go as JSON."""
+    kind = frame.get("type")
+    parts: List[bytes] = []
+    if kind == "publish":
+        messages = frame.get("messages", ())
+        if len(messages) >= 1 << 16:
+            return None
+        parts.append(_PUBLISH_HEAD.pack(
+            _BIN_MARKER, _BIN_PUBLISH,
+            1 if frame.get("resend") else 0, len(messages)))
+        for obj in messages:
+            if not _pack_message(parts, obj):
+                return None
+    elif kind == "deliver":
+        parts.append(_DELIVER_HEAD.pack(_BIN_MARKER, _BIN_DELIVER))
+        if not _pack_message(parts, frame["message"]):
+            return None
+    elif kind == "replica":
+        arrived_at = frame.get("arrived_at")
+        parts.append(_REPLICA_HEAD.pack(
+            _BIN_MARKER, _BIN_REPLICA, 0 if arrived_at is None else 1))
+        if arrived_at is not None:
+            parts.append(_F64.pack(float(arrived_at)))
+        if not _pack_message(parts, frame["message"]):
+            return None
+    elif kind == "prune":
+        topic, seq = int(frame["topic"]), int(frame["seq"])
+        if not (0 <= topic < 1 << 32 and 0 <= seq < 1 << 64):
+            return None
+        return _PRUNE.pack(_BIN_MARKER, _BIN_PRUNE, topic, seq)
+    else:
+        return None
+    return b"".join(parts)
+
+
+def encode_frames(frames: Iterable[Dict[str, Any]], binary: bool = False) -> bytes:
     """Encode frames into one contiguous length-prefixed blob.
 
     Splitting encoding from writing lets a sender encode once and fan the
     same bytes out to many connections (the broker's dispatch loop), or
     cork many frames into a single write (see :func:`write_frames`).
+
+    With ``binary=True`` the high-rate frame types are struct-packed;
+    anything else (and anything that doesn't fit the binary schema)
+    falls back to JSON inside the same blob, which every reader accepts.
     """
     parts = []
     for frame in frames:
-        data = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+        data = _encode_binary(frame) if binary else None
+        if data is None:
+            data = json.dumps(frame, separators=(",", ":"),
+                              default=_json_default).encode("utf-8")
         if len(data) > MAX_FRAME_BYTES:
             raise ProtocolError(f"frame of {len(data)} bytes exceeds limit")
         parts.append(_LENGTH.pack(len(data)))
@@ -63,22 +209,179 @@ def encode_frames(frames: Iterable[Dict[str, Any]]) -> bytes:
     return b"".join(parts)
 
 
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def _unpack_payload(data: bytes, pos: int):
+    try:
+        tag = data[pos]
+    except IndexError as exc:
+        raise ProtocolError("truncated binary payload") from exc
+    pos += 1
+    if tag == _PAYLOAD_NONE:
+        return None, pos
+    end = pos + 4
+    if end > len(data):
+        raise ProtocolError("truncated binary payload")
+    (length,) = _U32.unpack_from(data, pos)
+    pos, end = end, end + length
+    if end > len(data):
+        raise ProtocolError("truncated binary payload")
+    blob = data[pos:end]
+    if tag == _PAYLOAD_STR:
+        try:
+            return blob.decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("undecodable binary payload") from exc
+    if tag == _PAYLOAD_JSON:
+        try:
+            return json.loads(blob), end
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError("undecodable binary payload") from exc
+    raise ProtocolError(f"unknown payload tag {tag}")
+
+
+def _unpack_message(data: bytes, pos: int):
+    end = pos + _MESSAGE.size
+    if end > len(data):
+        raise ProtocolError("truncated binary message")
+    topic, seq, created_at = _MESSAGE.unpack_from(data, pos)
+    payload, pos = _unpack_payload(data, end)
+    return Message(topic, seq, created_at, data=payload), pos
+
+
+def _decode_binary(data: bytes) -> Dict[str, Any]:
+    try:
+        kind = data[1]
+    except IndexError as exc:
+        raise ProtocolError("truncated binary frame") from exc
+    if kind == _BIN_PUBLISH:
+        if len(data) < _PUBLISH_HEAD.size:
+            raise ProtocolError("truncated binary frame")
+        _, _, flags, count = _PUBLISH_HEAD.unpack_from(data)
+        pos = _PUBLISH_HEAD.size
+        messages = []
+        for _ in range(count):
+            message, pos = _unpack_message(data, pos)
+            messages.append(message)
+        return {"type": "publish", "resend": bool(flags & 1),
+                "messages": messages}
+    if kind == _BIN_DELIVER:
+        message, _ = _unpack_message(data, _DELIVER_HEAD.size)
+        return {"type": "deliver", "message": message}
+    if kind == _BIN_REPLICA:
+        if len(data) < _REPLICA_HEAD.size:
+            raise ProtocolError("truncated binary frame")
+        flags = data[2]
+        pos = _REPLICA_HEAD.size
+        arrived_at = None
+        if flags & 1:
+            if pos + _F64.size > len(data):
+                raise ProtocolError("truncated binary frame")
+            (arrived_at,) = _F64.unpack_from(data, pos)
+            pos += _F64.size
+        message, _ = _unpack_message(data, pos)
+        frame = {"type": "replica", "message": message}
+        if arrived_at is not None:
+            frame["arrived_at"] = arrived_at
+        return frame
+    if kind == _BIN_PRUNE:
+        if len(data) < _PRUNE.size:
+            raise ProtocolError("truncated binary frame")
+        _, _, topic, seq = _PRUNE.unpack(data[:_PRUNE.size])
+        return {"type": "prune", "topic": topic, "seq": seq}
+    raise ProtocolError(f"unknown binary frame kind {kind}")
+
+
+def decode_payload(data: bytes) -> Dict[str, Any]:
+    """Decode one frame payload, auto-detecting the codec."""
+    if data and data[0] == _BIN_MARKER:
+        return _decode_binary(data)
+    try:
+        frame = json.loads(data)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("undecodable frame") from exc
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise ProtocolError(f"frame without type: {frame!r}")
+    return frame
+
+
+class FrameReader:
+    """Buffered frame reader: one ``recv`` feeds many frames.
+
+    ``read_frame(StreamReader)`` costs two ``readexactly`` awaits (one
+    event-loop round trip each) per frame.  Under batched traffic a
+    single TCP segment carries dozens of corked frames, so this reader
+    pulls large chunks into one buffer and slices frames out of it,
+    awaiting the socket only when the buffer runs dry.
+
+    Mixing ``FrameReader`` and the plain :func:`read_frame` function on
+    the same ``StreamReader`` is not supported — the buffer would eat
+    bytes the plain call expects.
+    """
+
+    __slots__ = ("_reader", "_buf", "_pos", "bytes_received")
+
+    #: Bytes asked from the transport per refill.
+    CHUNK = 256 * 1024
+    #: Consumed-prefix size beyond which the buffer is compacted.
+    _COMPACT = 1 << 16
+
+    def __init__(self, reader: asyncio.StreamReader):
+        self._reader = reader
+        self._buf = bytearray()
+        self._pos = 0
+        self.bytes_received = 0
+
+    async def read_frame(self) -> Optional[Dict[str, Any]]:
+        """Read one frame; ``None`` on clean EOF or a dead transport."""
+        buf = self._buf
+        while True:
+            avail = len(buf) - self._pos
+            if avail >= _LENGTH.size:
+                (length,) = _LENGTH.unpack_from(buf, self._pos)
+                if length > MAX_FRAME_BYTES:
+                    raise ProtocolError(f"frame of {length} bytes exceeds limit")
+                if avail >= _LENGTH.size + length:
+                    start = self._pos + _LENGTH.size
+                    end = start + length
+                    data = bytes(buf[start:end])
+                    if end >= len(buf):
+                        del buf[:]
+                        self._pos = 0
+                    elif end >= self._COMPACT:
+                        del buf[:end]
+                        self._pos = 0
+                    else:
+                        self._pos = end
+                    return decode_payload(data)
+            try:
+                chunk = await self._reader.read(self.CHUNK)
+            except (asyncio.IncompleteReadError, OSError):
+                return None
+            if not chunk:
+                return None   # EOF (mid-frame truncation included)
+            self.bytes_received += len(chunk)
+            buf.extend(chunk)
+
+
+# ----------------------------------------------------------------------
+# Stream helpers
+# ----------------------------------------------------------------------
 async def write_encoded(writer: asyncio.StreamWriter, blob: bytes) -> None:
     """Write an :func:`encode_frames` blob and drain once."""
     writer.write(blob)
     await writer.drain()
 
 
-async def write_frame(writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
-    data = json.dumps(frame, separators=(",", ":")).encode("utf-8")
-    if len(data) > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {len(data)} bytes exceeds limit")
-    writer.write(_LENGTH.pack(len(data)) + data)
-    await writer.drain()
+async def write_frame(writer: asyncio.StreamWriter, frame: Dict[str, Any],
+                      binary: bool = False) -> None:
+    await write_encoded(writer, encode_frames((frame,), binary=binary))
 
 
 async def write_frames(writer: asyncio.StreamWriter,
-                       frames: Iterable[Dict[str, Any]]) -> None:
+                       frames: Iterable[Dict[str, Any]],
+                       binary: bool = False) -> None:
     """Cork a batch of frames into one ``write`` + a single ``drain``.
 
     ``write_frame`` awaits ``drain()`` after every frame, which costs an
@@ -87,10 +390,9 @@ async def write_frames(writer: asyncio.StreamWriter,
     Frames are encoded before anything is written, so an oversized frame
     raises without leaving a partial batch on the wire.
     """
-    blob = encode_frames(frames)
+    blob = encode_frames(frames, binary=binary)
     if blob:
-        writer.write(blob)
-        await writer.drain()
+        await write_encoded(writer, blob)
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
@@ -100,6 +402,10 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
     keepalive, ...) means the connection is dead, which callers handle
     exactly like EOF — so it is normalized to ``None`` rather than
     leaking transport-specific exception types into every caller.
+
+    This is the unbuffered variant, fine for low-rate control
+    connections (ping/pong polling, ``stats`` fetches); hot paths use
+    :class:`FrameReader`.
     """
     try:
         header = await reader.readexactly(_LENGTH.size)
@@ -112,10 +418,4 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
         data = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, OSError):
         return None
-    try:
-        frame = json.loads(data.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError("undecodable frame") from exc
-    if not isinstance(frame, dict) or "type" not in frame:
-        raise ProtocolError(f"frame without type: {frame!r}")
-    return frame
+    return decode_payload(data)

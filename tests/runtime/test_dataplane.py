@@ -1,0 +1,370 @@
+"""Data-plane integration tests: codec interop, micro-batching,
+slow-subscriber backpressure, and journal group commit.
+
+These cover the throughput-overhaul layer end to end over real loopback
+sockets: JSON-only and binary clients sharing one broker, legacy clients
+that never see a ``hello_ack``, bounded per-subscriber queues under both
+drop and block policies, and the group-committed journal staying
+replay-compatible with the per-record format.
+"""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.core.model import Message
+from repro.core.policy import DISK_LOG
+from repro.runtime import BrokerServer, Publisher, RuntimeBrokerConfig, Subscriber
+from repro.runtime.client import fetch_stats
+from repro.runtime.wire import BINARY_CODEC, decode_message, read_frame, write_frame
+
+from tests.runtime.test_runtime import (
+    PARAMS,
+    suppressed_topic,
+    wait_for,
+)
+
+
+async def start_single(topic, **config_overrides):
+    """One standalone Primary (no peer): pure data-plane harness."""
+    broker = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+        topics={topic.topic_id: topic}, params=PARAMS, **config_overrides))
+    await broker.start()
+    return broker
+
+
+async def open_raw(address, hello=None, rcvbuf=None):
+    """A hand-rolled JSON client connection (legacy wire behavior)."""
+    if rcvbuf is not None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+        sock.setblocking(False)
+        await asyncio.get_event_loop().sock_connect(sock, address)
+        reader, writer = await asyncio.open_connection(sock=sock)
+    else:
+        reader, writer = await asyncio.open_connection(*address)
+    if hello is not None:
+        await write_frame(writer, hello)
+    return reader, writer
+
+
+def clamp_broker_send_buffers(broker, size=8192):
+    """Shrink SO_SNDBUF on every accepted connection so a wedged reader
+    exerts backpressure after kilobytes, not after the megabytes the
+    kernel would otherwise autotune loopback buffers to."""
+    for writer in broker._connections:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, size)
+        writer.transport.set_write_buffer_limits(high=size)
+
+
+# ----------------------------------------------------------------------
+# JSON <-> binary interop
+# ----------------------------------------------------------------------
+def test_json_and_binary_subscribers_both_receive_everything():
+    async def scenario():
+        spec = suppressed_topic(0)
+        broker = await start_single(spec)
+        binary_sub = Subscriber([spec.topic_id], broker.address,
+                                broker.address, binary=True)
+        json_sub = Subscriber([spec.topic_id], broker.address,
+                              broker.address, binary=False)
+        await binary_sub.start()
+        await json_sub.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], broker.address, broker.address,
+                              binary=True)
+        await publisher.start()
+        try:
+            assert publisher.binary_active
+            for index in range(40):
+                await publisher.publish({spec.topic_id: f"msg-{index}"})
+            await publisher.flush()
+            expected = set(range(1, 41))
+            ok = await wait_for(
+                lambda: binary_sub.delivered_seqs(spec.topic_id) == expected
+                and json_sub.delivered_seqs(spec.topic_id) == expected)
+            assert ok, "codec mix lost messages"
+            # Payloads survive both codecs identically.
+            assert binary_sub.received[spec.topic_id].keys() \
+                == json_sub.received[spec.topic_id].keys()
+            stats = await fetch_stats(broker.address)
+            plane = stats["data_plane"]
+            assert plane["binary_codec"] is True
+            assert plane["flushes"] >= 1
+            assert plane["frames_flushed"] >= 80
+        finally:
+            await publisher.close()
+            await binary_sub.close()
+            await json_sub.close()
+            await broker.close()
+
+    asyncio.run(scenario())
+
+
+def test_legacy_json_client_sees_pure_json_and_no_ack():
+    async def scenario():
+        spec = suppressed_topic(0)
+        broker = await start_single(spec)
+        reader, writer = await open_raw(
+            broker.address, hello={"type": "hello", "role": "subscriber"})
+        try:
+            await write_frame(writer, {"type": "subscribe",
+                                       "topics": [spec.topic_id]})
+            frame = await asyncio.wait_for(read_frame(reader), timeout=2.0)
+            # No codecs advertised => no hello_ack may ever be sent; the
+            # first reply must be the subscribe confirmation.
+            assert frame == {"type": "subscribed"}
+
+            publisher = Publisher([spec], broker.address, broker.address,
+                                  binary=False, cork=False)
+            await publisher.start()
+            assert not publisher.binary_active
+            sent = await publisher.publish({spec.topic_id: "plain"})
+            frame = await asyncio.wait_for(read_frame(reader), timeout=2.0)
+            assert frame["type"] == "deliver"
+            # A legacy reader gets a JSON object, never a packed message.
+            assert isinstance(frame["message"], dict)
+            message = decode_message(frame["message"])
+            assert message.key() == sent[0].key()
+            assert message.data == "plain"
+            await publisher.close()
+        finally:
+            writer.close()
+            await broker.close()
+
+    asyncio.run(scenario())
+
+
+def test_binary_publisher_against_json_only_broker_falls_back():
+    async def scenario():
+        spec = suppressed_topic(0)
+        broker = await start_single(spec, enable_binary_codec=False)
+        subscriber = Subscriber([spec.topic_id], broker.address,
+                                broker.address, binary=True)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], broker.address, broker.address,
+                              binary=True, hello_timeout=0.05)
+        await publisher.start()
+        try:
+            assert not publisher.binary_active   # broker never acked
+            await publisher.publish({spec.topic_id: "fallback"})
+            ok = await wait_for(
+                lambda: subscriber.delivered_seqs(spec.topic_id) == {1})
+            assert ok
+        finally:
+            await publisher.close()
+            await subscriber.close()
+            await broker.close()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Slow-subscriber backpressure
+# ----------------------------------------------------------------------
+def test_stuck_subscriber_drop_policy_does_not_stall_others():
+    async def scenario():
+        spec = suppressed_topic(0)
+        broker = await start_single(spec, sub_queue_limit=64,
+                                    sub_queue_policy="drop")
+        healthy = Subscriber([spec.topic_id], broker.address, broker.address)
+        await healthy.start()
+        await asyncio.sleep(0.2)
+        # A subscriber that wedges: tiny receive buffer, never reads.
+        _, stuck_writer = await open_raw(
+            broker.address,
+            hello={"type": "hello", "role": "subscriber"}, rcvbuf=8192)
+        await write_frame(stuck_writer, {"type": "subscribe",
+                                         "topics": [spec.topic_id]})
+        await asyncio.sleep(0.1)
+        clamp_broker_send_buffers(broker)
+        publisher = Publisher([spec], broker.address, broker.address)
+        await publisher.start()
+        try:
+            total = 800
+            payload = "x" * 2048
+            for index in range(total):
+                await publisher.publish({spec.topic_id: payload})
+                if index % 25 == 0:      # let the healthy reader breathe
+                    await asyncio.sleep(0.002)
+            await publisher.flush()
+            ok = await wait_for(
+                lambda: len(healthy.delivered_seqs(spec.topic_id)) == total,
+                timeout=30.0)
+            assert ok, (
+                f"healthy subscriber stalled at "
+                f"{len(healthy.delivered_seqs(spec.topic_id))}/{total}")
+            assert broker.dispatched == total
+            stats = await fetch_stats(broker.address)
+            plane = stats["data_plane"]
+            assert plane["queue_policy"] == "drop"
+            assert plane["frames_dropped"] > 0, \
+                "the wedged subscriber never overflowed its bounded queue"
+        finally:
+            await publisher.close()
+            stuck_writer.close()
+            await healthy.close()
+            await broker.close()
+
+    asyncio.run(scenario())
+
+
+def test_stuck_subscriber_block_policy_backpressures_then_recovers():
+    async def scenario():
+        spec = suppressed_topic(0)
+        broker = await start_single(spec, sub_queue_limit=8,
+                                    sub_queue_policy="block")
+        healthy = Subscriber([spec.topic_id], broker.address, broker.address)
+        await healthy.start()
+        await asyncio.sleep(0.2)
+        _, stuck_writer = await open_raw(
+            broker.address,
+            hello={"type": "hello", "role": "subscriber"}, rcvbuf=8192)
+        await write_frame(stuck_writer, {"type": "subscribe",
+                                         "topics": [spec.topic_id]})
+        await asyncio.sleep(0.1)
+        clamp_broker_send_buffers(broker)
+        publisher = Publisher([spec], broker.address, broker.address)
+        await publisher.start()
+        try:
+            total = 120
+            payload = "x" * 4096
+            for _ in range(total):
+                await publisher.publish({spec.topic_id: payload})
+            await publisher.flush()
+            # Dispatch must wedge on the full bounded queue...
+            ok = await wait_for(lambda: broker.sub_dispatch_blocks >= 1,
+                                timeout=10.0)
+            assert ok, "block policy never applied backpressure"
+            # ...and severing the stuck subscriber must release it.
+            stuck_writer.close()
+            ok = await wait_for(
+                lambda: len(healthy.delivered_seqs(spec.topic_id)) == total,
+                timeout=30.0)
+            assert ok, (
+                f"dispatch did not recover after the stuck subscriber "
+                f"died ({len(healthy.delivered_seqs(spec.topic_id))}/{total})")
+            stats = await fetch_stats(broker.address)
+            assert stats["data_plane"]["dispatch_blocks"] >= 1
+        finally:
+            await publisher.close()
+            await healthy.close()
+            await broker.close()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Publisher corking
+# ----------------------------------------------------------------------
+def test_publisher_cork_backpressure_and_flush():
+    async def scenario():
+        spec = suppressed_topic(0)
+        broker = await start_single(spec)
+        subscriber = Subscriber([spec.topic_id], broker.address, broker.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], broker.address, broker.address,
+                              cork=True, pending_limit=4)
+        await publisher.start()
+        try:
+            total = 200
+            for index in range(total):
+                await publisher.publish({spec.topic_id: index})
+            await publisher.flush()
+            assert publisher.frames_sent == total
+            assert publisher.bytes_sent > 0
+            ok = await wait_for(
+                lambda: subscriber.delivered_seqs(spec.topic_id)
+                == set(range(1, total + 1)))
+            assert ok, "corked publisher lost or reordered messages"
+        finally:
+            await publisher.close()
+            await subscriber.close()
+            await broker.close()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Journal group commit
+# ----------------------------------------------------------------------
+def test_journal_group_commit_format_matches_per_record(tmp_path):
+    async def scenario(group_commit, path):
+        spec = suppressed_topic(0)
+        broker = await start_single(spec, policy=DISK_LOG,
+                                    journal_path=str(path),
+                                    journal_group_commit=group_commit)
+        publisher = Publisher([spec], broker.address, broker.address)
+        await publisher.start()
+        try:
+            async def burst(count):
+                for index in range(count):
+                    await publisher.publish({spec.topic_id: f"r-{index}"})
+            await asyncio.gather(burst(10), burst(10))
+            await publisher.flush()
+            ok = await wait_for(lambda: broker.dispatched >= 20)
+            assert ok
+            return broker.journal_flushes, broker.journal_records
+        finally:
+            await publisher.close()
+            await broker.close()
+
+    grouped = tmp_path / "grouped.ndjson"
+    per_record = tmp_path / "per_record.ndjson"
+    flushes, records = asyncio.run(scenario(True, grouped))
+    assert records == 20
+    assert 1 <= flushes <= records
+    asyncio.run(scenario(False, per_record))
+
+    def parse(path):
+        lines = path.read_text().strip().splitlines()
+        return [decode_message(json.loads(line)) for line in lines]
+
+    grouped_messages = parse(grouped)
+    per_record_messages = parse(per_record)
+    assert len(grouped_messages) == len(per_record_messages) == 20
+    # Same ndjson schema either way: replay cannot tell them apart.
+    assert ({m.seq for m in grouped_messages}
+            == {m.seq for m in per_record_messages} == set(range(1, 21)))
+
+
+def test_group_committed_journal_replays(tmp_path):
+    async def scenario():
+        spec = suppressed_topic(0)
+        path = tmp_path / "journal.ndjson"
+        broker = await start_single(spec, policy=DISK_LOG,
+                                    journal_path=str(path),
+                                    journal_group_commit=True)
+        publisher = Publisher([spec], broker.address, broker.address)
+        await publisher.start()
+        for index in range(15):
+            await publisher.publish({spec.topic_id: index})
+        await publisher.flush()
+        await wait_for(lambda: broker.dispatched >= 15)
+        await publisher.close()
+        await broker.close()
+
+        # Crash-restart recovery: a fresh broker replays the journal.
+        recovered = await start_single(spec, policy=DISK_LOG,
+                                       journal_path=str(path),
+                                       recover_journal=True,
+                                       journal_recovery_delay=0.2)
+        subscriber = Subscriber([spec.topic_id], recovered.address,
+                                recovered.address)
+        await subscriber.start()
+        try:
+            ok = await wait_for(
+                lambda: subscriber.delivered_seqs(spec.topic_id)
+                == set(range(1, 16)), timeout=10.0)
+            assert ok, "replay from a group-committed journal lost messages"
+        finally:
+            await subscriber.close()
+            await recovered.close()
+
+    asyncio.run(scenario())

@@ -1,0 +1,245 @@
+"""Binary codec robustness: property roundtrips, truncation, interop.
+
+The ``bin1`` codec shares the length-prefixed framing with JSON and is
+self-describing (marker byte 0x00 vs JSON's ``{``), so these tests drive
+both codecs through the same reader paths: property-based roundtrips
+across frame kinds and payload shapes, mid-frame truncation, oversized
+frames, corrupt binary interiors, and mixed-codec blobs.
+"""
+
+import asyncio
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import Message
+from repro.runtime.wire import (
+    BINARY_CODEC,
+    MAX_FRAME_BYTES,
+    FrameReader,
+    ProtocolError,
+    decode_message,
+    encode_frames,
+    write_frame,
+)
+from tests.runtime.test_wire import FakeWriter
+
+
+def decode_all(blob, chunk_size=None):
+    """Run ``blob`` through a :class:`FrameReader`, optionally drip-fed."""
+    async def scenario():
+        reader = asyncio.StreamReader()
+        frames = FrameReader(reader)
+        if chunk_size is None:
+            reader.feed_data(blob)
+            reader.feed_eof()
+        else:
+            async def drip():
+                for start in range(0, len(blob), chunk_size):
+                    reader.feed_data(blob[start:start + chunk_size])
+                    await asyncio.sleep(0)
+                reader.feed_eof()
+            asyncio.get_event_loop().create_task(drip())
+        out = []
+        while True:
+            frame = await frames.read_frame()
+            if frame is None:
+                return out
+            out.append(frame)
+
+    return asyncio.run(scenario())
+
+
+def assert_same_message(decoded_obj, original: Message):
+    decoded = decode_message(decoded_obj)
+    assert decoded.topic_id == original.topic_id
+    assert decoded.seq == original.seq
+    assert decoded.created_at == original.created_at
+    assert decoded.data == original.data
+
+
+# ----------------------------------------------------------------------
+# Property-based roundtrips across both codecs
+# ----------------------------------------------------------------------
+payloads = st.one_of(
+    st.none(),
+    st.text(max_size=64),                       # includes unicode
+    st.integers(-2**31, 2**31),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.lists(st.integers(0, 255), max_size=8),
+    st.dictionaries(st.text(max_size=8), st.integers(0, 100), max_size=4),
+)
+
+messages = st.builds(
+    Message,
+    st.integers(0, 2**32 - 1),                  # full u32 topic range
+    st.integers(0, 2**64 - 1),                  # full u64 seq range
+    st.floats(min_value=0.0, max_value=4e12, allow_nan=False),
+    data=payloads,
+)
+
+frames = st.one_of(
+    st.builds(lambda m: {"type": "deliver", "message": m}, messages),
+    st.builds(lambda ms, resend: {"type": "publish", "resend": resend,
+                                  "messages": ms},
+              st.lists(messages, max_size=4), st.booleans()),
+    st.builds(lambda m, a: ({"type": "replica", "message": m,
+                             "arrived_at": a} if a is not None
+                            else {"type": "replica", "message": m}),
+              messages,
+              st.one_of(st.none(), st.floats(min_value=0.0, max_value=4e12,
+                                             allow_nan=False))),
+    st.builds(lambda t, s: {"type": "prune", "topic": t, "seq": s},
+              st.integers(0, 2**32 - 1), st.integers(0, 2**64 - 1)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(frame=frames, binary=st.booleans())
+def test_frame_roundtrip_property(frame, binary):
+    blob = encode_frames((frame,), binary=binary)
+    (decoded,) = decode_all(blob)
+    assert decoded["type"] == frame["type"]
+    if frame["type"] in ("deliver", "replica"):
+        assert_same_message(decoded["message"], frame["message"])
+        if frame["type"] == "replica":
+            original = frame.get("arrived_at")
+            roundtripped = decoded.get("arrived_at")
+            if original is None:
+                assert roundtripped is None
+            else:
+                assert roundtripped == pytest.approx(original, abs=1e-9)
+    elif frame["type"] == "publish":
+        assert bool(decoded.get("resend")) == frame["resend"]
+        assert len(decoded["messages"]) == len(frame["messages"])
+        for got, sent in zip(decoded["messages"], frame["messages"]):
+            assert_same_message(got, sent)
+    else:
+        assert decoded["topic"] == frame["topic"]
+        assert decoded["seq"] == frame["seq"]
+
+
+# ----------------------------------------------------------------------
+# Codec selection and fallback
+# ----------------------------------------------------------------------
+def test_binary_deliver_is_smaller_than_json():
+    frame = {"type": "deliver",
+             "message": Message(1, 42, 1234.5, data="x" * 16)}
+    json_blob = encode_frames((frame,))
+    bin_blob = encode_frames((frame,), binary=True)
+    assert len(bin_blob) < len(json_blob) / 2
+    assert bin_blob[4] == 0x00                   # binary marker
+    assert json_blob[4:5] == b"{"
+
+
+def test_binary_request_falls_back_to_json_when_unrepresentable():
+    # topic outside u32 cannot be struct-packed; the frame must still go
+    # out (as JSON) rather than fail.
+    frame = {"type": "deliver",
+             "message": Message(2**32, 1, 0.0, data=None)}
+    blob = encode_frames((frame,), binary=True)
+    assert blob[4:5] == b"{"
+    (decoded,) = decode_all(blob)
+    assert_same_message(decoded["message"], frame["message"])
+
+
+def test_control_frames_always_json():
+    blob = encode_frames(({"type": "hello", "codecs": [BINARY_CODEC]},),
+                         binary=True)
+    assert blob[4:5] == b"{"
+
+
+def test_mixed_codec_blob():
+    deliver = {"type": "deliver", "message": Message(0, 1, 1.0, data="hi")}
+    hello = {"type": "hello", "role": "subscriber"}
+    blob = encode_frames((deliver, hello, deliver), binary=True)
+    first, second, third = decode_all(blob)
+    assert_same_message(first["message"], deliver["message"])
+    assert second == hello
+    assert_same_message(third["message"], deliver["message"])
+
+
+def test_write_frame_binary_routes_through_encode_frames():
+    async def scenario():
+        writer = FakeWriter()
+        await write_frame(writer, {"type": "prune", "topic": 3, "seq": 9},
+                          binary=True)
+        return b"".join(writer.chunks)
+
+    blob = asyncio.run(scenario())
+    (decoded,) = decode_all(blob)
+    assert decoded == {"type": "prune", "topic": 3, "seq": 9}
+
+
+def test_max_size_frame_roundtrip():
+    payload = "a" * (MAX_FRAME_BYTES - 1024)
+    frame = {"type": "deliver", "message": Message(0, 1, 0.0, data=payload)}
+    (decoded,) = decode_all(encode_frames((frame,), binary=True))
+    assert decoded["message"].data == payload
+
+
+# ----------------------------------------------------------------------
+# Truncation, corruption, limits (FrameReader paths)
+# ----------------------------------------------------------------------
+def full_blob():
+    return encode_frames(
+        ({"type": "deliver", "message": Message(5, 6, 7.0, data="payload")},),
+        binary=True)
+
+
+def test_framereader_chunked_feed():
+    blob = encode_frames(
+        ({"type": "deliver", "message": Message(1, 2, 3.0, data="abc")},
+         {"type": "prune", "topic": 1, "seq": 2}), binary=True)
+    frames = decode_all(blob, chunk_size=3)
+    assert len(frames) == 2
+    assert frames[1] == {"type": "prune", "topic": 1, "seq": 2}
+
+
+@pytest.mark.parametrize("cut", [1, 3, 5])
+def test_truncated_frame_mid_stream_returns_none(cut):
+    blob = full_blob()
+    assert decode_all(blob[:len(blob) - cut]) == []
+
+
+def test_truncated_header_returns_none():
+    assert decode_all(b"\x00\x00") == []
+
+
+def test_frames_before_truncation_still_decode():
+    blob = full_blob()
+    assert len(decode_all(blob + blob[:len(blob) // 2])) == 1
+
+
+def test_oversized_frame_rejected_by_framereader():
+    header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+    with pytest.raises(ProtocolError, match="exceeds limit"):
+        decode_all(header)
+
+
+def test_corrupt_binary_interior_raises():
+    # A complete frame whose binary interior is truncated: deliver kind
+    # but the message struct is cut short.
+    payload = b"\x00\x02" + b"\x00" * 4
+    blob = struct.pack(">I", len(payload)) + payload
+    with pytest.raises(ProtocolError, match="truncated binary"):
+        decode_all(blob)
+
+
+def test_unknown_binary_kind_raises():
+    payload = b"\x00\x7f"
+    blob = struct.pack(">I", len(payload)) + payload
+    with pytest.raises(ProtocolError, match="unknown binary frame kind"):
+        decode_all(blob)
+
+
+def test_unknown_payload_tag_raises():
+    # deliver + valid message header, then a payload tag that isn't 0/1/2.
+    interior = (b"\x00\x02" + struct.pack(">IQd", 1, 1, 0.0)
+                + b"\x09" + struct.pack(">I", 0))
+    blob = struct.pack(">I", len(interior)) + interior
+    with pytest.raises(ProtocolError, match="unknown payload tag"):
+        decode_all(blob)

@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Runtime data-plane load benchmark: publishers × subscribers over TCP.
+
+Drives a full :class:`LocalDeployment` (Primary + Backup on loopback) with
+N publishers and M subscribers, every message a real wire round trip:
+publisher → Primary → EDF dispatch → subscriber.  Four quadrants isolate
+the two data-plane levers this repo ships:
+
+* codec   — length-prefixed JSON vs the ``bin1`` struct-packed codec;
+* batching — one ``write``+``drain`` per frame vs adaptive micro-batching
+  (publisher cork, per-subscriber outbound queues, corked flushes).
+
+``json_unbatched`` is the pre-overhaul baseline (what the seed runtime
+did); ``binary_batched`` is the shipping default.  A fifth section
+measures the journal write path (DiskLog policy): fsync-per-record vs
+group commit.
+
+Reported per quadrant: end-to-end msgs/sec (publish-to-all-subscribers
+completion), delivery p50/p99 latency, and bytes on the wire per message
+in each direction.  Writes ``BENCH_runtime.json`` at the repo root so the
+perf trajectory is tracked per PR.  ``--smoke`` shrinks the workload for
+CI; numbers from a loaded CI box are noisy and only the committed
+(non-smoke) JSON should be compared across commits.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_runtime.py [--smoke] [--out PATH]
+        [--publishers N] [--subscribers M] [--messages K]
+        [--payload BYTES] [--rate MSGS_PER_SEC]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.core.model import EDGE, TopicSpec                       # noqa: E402
+from repro.core.policy import DISK_LOG, FRAME, ConfigPolicy        # noqa: E402
+from repro.core.timing import DeadlineParameters                   # noqa: E402
+from repro.core.units import ms                                    # noqa: E402
+from repro.runtime.deployment import LocalDeployment               # noqa: E402
+
+PARAMS = DeadlineParameters(
+    delta_pb=ms(5), delta_bb=ms(5), delta_bs_edge=ms(10),
+    delta_bs_cloud=ms(50), failover_time=2.0,
+)
+
+
+def _bench_topic(topic_id: int) -> TopicSpec:
+    """A replication-suppressed topic: the quadrants measure the
+    publish→dispatch→deliver path, not Backup traffic (the soak and the
+    peer-link tests cover that)."""
+    return TopicSpec(topic_id=topic_id, period=3.0, deadline=5.0,
+                     loss_tolerance=0, retention=10, destination=EDGE,
+                     category=3)
+
+
+def _percentile(sorted_values: List[float], q: float) -> Optional[float]:
+    if not sorted_values:
+        return None
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+async def _run_scenario(*, publishers: int, subscribers: int, messages: int,
+                        payload_bytes: int, rate: float, binary: bool,
+                        batched: bool, policy: ConfigPolicy = FRAME,
+                        journal_path: Optional[str] = None,
+                        journal_group_commit: bool = True,
+                        timeout: float = 180.0) -> Dict[str, object]:
+    specs = [_bench_topic(i) for i in range(publishers)]
+    overrides: Dict[str, object] = {
+        "enable_binary_codec": binary,
+        "batch_dispatch": batched,
+        "journal_group_commit": journal_group_commit,
+        # Lossless backpressure: the bench measures sustained throughput,
+        # so a full subscriber queue must pace dispatch, not shed load.
+        "sub_queue_policy": "block",
+    }
+    if journal_path is not None:
+        overrides["journal_path"] = journal_path
+    deployment = LocalDeployment(
+        specs, policy=policy, params=PARAMS,
+        # Slow control plane: the watchdogs must never mistake benchmark
+        # backlog for a dead broker and fail over mid-measurement.
+        poll_interval=5.0, reply_timeout=2.0, miss_threshold=1000,
+        broker_overrides=overrides)
+    await deployment.start()
+    payload = "x" * payload_bytes
+    try:
+        subs = [await deployment.add_subscriber(binary=binary)
+                for _ in range(subscribers)]
+        pubs = [await deployment.add_publisher(
+                    [spec], publisher_id=f"bench-pub-{spec.topic_id}",
+                    binary=binary, cork=batched)
+                for spec in specs]
+
+        interval = 1.0 / rate if rate > 0 else 0.0
+
+        async def pump(pub, spec):
+            next_at = time.perf_counter()
+            for _ in range(messages):
+                await pub.publish({spec.topic_id: payload})
+                if interval:
+                    next_at += interval
+                    delay = next_at - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+            await pub.flush()
+
+        def delivered_total() -> int:
+            return sum(len(sub.received.get(spec.topic_id, ()))
+                       for sub in subs for spec in specs)
+
+        expected = publishers * messages * subscribers
+        start = time.perf_counter()
+        await asyncio.gather(*(pump(pub, spec)
+                               for pub, spec in zip(pubs, specs)))
+        deadline = start + timeout
+        while delivered_total() < expected and time.perf_counter() < deadline:
+            await asyncio.sleep(0.005)
+        elapsed = time.perf_counter() - start
+
+        total_published = publishers * messages
+        delivered = delivered_total()
+        latencies = sorted(
+            latency
+            for sub in subs
+            for per_topic in sub.received.values()
+            for latency in per_topic.values())
+        publish_bytes = sum(pub.bytes_sent for pub in pubs)
+        deliver_bytes = sum(sub.bytes_received for sub in subs)
+        plane = deployment.primary.snapshot().get("data_plane", {})
+        result: Dict[str, object] = {
+            "complete": delivered >= expected,
+            "published": total_published,
+            "delivered": delivered,
+            "expected_deliveries": expected,
+            "elapsed_s": round(elapsed, 4),
+            "msgs_per_sec": round(total_published / elapsed, 1),
+            "deliveries_per_sec": round(delivered / elapsed, 1),
+            "latency_p50_ms": (round(_percentile(latencies, 0.50) * 1e3, 3)
+                               if latencies else None),
+            "latency_p99_ms": (round(_percentile(latencies, 0.99) * 1e3, 3)
+                               if latencies else None),
+            "publish_bytes_per_msg": (round(publish_bytes / total_published, 1)
+                                      if total_published else None),
+            "deliver_bytes_per_msg": (round(deliver_bytes / delivered, 1)
+                                      if delivered else None),
+            "broker_flushes": plane.get("flushes"),
+            "broker_frames_flushed": plane.get("frames_flushed"),
+            "journal_flushes": plane.get("journal_flushes"),
+            "journal_records": plane.get("journal_records"),
+        }
+        flushes = plane.get("flushes") or 0
+        if flushes:
+            result["avg_flush_batch"] = round(
+                plane.get("frames_flushed", 0) / flushes, 2)
+        return result
+    finally:
+        await deployment.close()
+
+
+def run_scenario(**kwargs) -> Dict[str, object]:
+    return asyncio.run(_run_scenario(**kwargs))
+
+
+QUADRANTS = (
+    ("json_unbatched", dict(binary=False, batched=False)),
+    ("json_batched", dict(binary=False, batched=True)),
+    ("binary_unbatched", dict(binary=True, batched=False)),
+    ("binary_batched", dict(binary=True, batched=True)),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI (seconds, not minutes)")
+    parser.add_argument("--publishers", type=int, default=None)
+    parser.add_argument("--subscribers", type=int, default=None)
+    parser.add_argument("--messages", type=int, default=None,
+                        help="messages per publisher")
+    parser.add_argument("--payload", type=int, default=16,
+                        help="payload bytes per message (paper-scale: 16)")
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="per-publisher msgs/sec (0 = as fast as possible)")
+    parser.add_argument("--timeout", type=float, default=180.0,
+                        help="per-scenario completion timeout (seconds)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per quadrant, best kept (default: 2, "
+                             "smoke: 1) — single-core boxes are noisy")
+    parser.add_argument("--out", type=str,
+                        default=os.path.join(os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))), "BENCH_runtime.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        publishers = args.publishers or 1
+        subscribers = args.subscribers or 1
+        messages = args.messages or 300
+    else:
+        publishers = args.publishers or 2
+        subscribers = args.subscribers or 2
+        messages = args.messages or 4000
+    journal_messages = max(50, messages // 4)
+    repeats = args.repeats or (1 if args.smoke else 2)
+
+    workload = dict(publishers=publishers, subscribers=subscribers,
+                    messages=messages, payload_bytes=args.payload,
+                    rate=args.rate, timeout=args.timeout)
+    print(f"bench_runtime: smoke={args.smoke} publishers={publishers} "
+          f"subscribers={subscribers} messages={messages} "
+          f"payload={args.payload}B rate={args.rate or 'max'}")
+
+    quadrants: Dict[str, Dict[str, object]] = {}
+    for name, toggles in QUADRANTS:
+        result = max((run_scenario(**workload, **toggles)
+                      for _ in range(repeats)),
+                     key=lambda r: r["msgs_per_sec"])
+        quadrants[name] = result
+        print(f"  {name:17s}: {result['msgs_per_sec']:10,.0f} msgs/s  "
+              f"p50 {result['latency_p50_ms']} ms  "
+              f"p99 {result['latency_p99_ms']} ms  "
+              f"{result['deliver_bytes_per_msg']} B/msg"
+              f"{'' if result['complete'] else '  [INCOMPLETE]'}")
+
+    baseline = quadrants["json_unbatched"]["msgs_per_sec"]
+    overhauled = quadrants["binary_batched"]["msgs_per_sec"]
+    speedup = round(overhauled / baseline, 2) if baseline else None
+    print(f"  binary_batched vs json_unbatched: {speedup}x")
+
+    # Journal write path: fsync per record vs group commit (DiskLog).
+    journal: Dict[str, object] = {"messages": journal_messages}
+    for label, group in (("per_record", False), ("group_commit", True)):
+        with tempfile.TemporaryDirectory() as tmp:
+            result = run_scenario(
+                **{**workload, "messages": journal_messages},
+                binary=True, batched=True, policy=DISK_LOG,
+                journal_path=os.path.join(tmp, "journal.ndjson"),
+                journal_group_commit=group)
+        journal[label] = result
+        print(f"  journal {label:13s}: {result['msgs_per_sec']:10,.0f} msgs/s  "
+              f"({result['journal_flushes']} flushes / "
+              f"{result['journal_records']} records)")
+    per_record = journal["per_record"]["msgs_per_sec"]
+    journal["group_commit_speedup"] = (
+        round(journal["group_commit"]["msgs_per_sec"] / per_record, 2)
+        if per_record else None)
+
+    report = {
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "workload": {"publishers": publishers, "subscribers": subscribers,
+                     "messages_per_publisher": messages,
+                     "payload_bytes": args.payload, "rate": args.rate,
+                     "repeats": repeats},
+        "quadrants": quadrants,
+        "speedup_binary_batched_vs_json_unbatched": speedup,
+        "journal": journal,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
