@@ -404,12 +404,18 @@ class BrokerServer:
                                            "codec": BINARY_CODEC})
         elif kind == "subscribe":
             sub = conn.subscription
-            if sub is None:
+            if sub is None or sub.closed:
+                # A transient write error closes the subscription (dead
+                # writer task, cleared queue); a later subscribe on the
+                # same connection must get a fresh one, not silently
+                # enqueue into a never-flushed queue.
                 sub = conn.subscription = _Subscription(writer, conn.binary)
                 self._subscriptions.add(sub)
                 if self.config.batch_dispatch:
                     sub.task = asyncio.create_task(
                         self._subscription_writer(sub))
+                for topic_id in conn.subscribed:   # re-attach earlier topics
+                    self._subscribers.setdefault(topic_id, set()).add(sub)
             for topic_id in frame.get("topics", ()):
                 self._subscribers.setdefault(int(topic_id), set()).add(sub)
                 conn.subscribed.add(int(topic_id))

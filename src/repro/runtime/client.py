@@ -248,6 +248,14 @@ class Publisher:
                 await self._write_frames(batch)
             except ProtocolError:   # oversized frame; messages stay retained
                 self.send_failures += len(batch)
+            except Exception:
+                # e.g. a JSON-unserializable payload raising TypeError in
+                # the encoder.  The flusher must survive: dying here would
+                # strand flush() waiters and silently drop every later
+                # publish until a new task is spawned.
+                self.send_failures += len(batch)
+                logger.exception("%s: dropping unencodable batch of %d "
+                                 "frame(s)", self.publisher_id, len(batch))
             if not pending:
                 self._idle_event.set()
 

@@ -38,7 +38,6 @@ from repro.runtime.wire import (
     ProtocolError,
     encode_frames,
     write_frame,
-    write_frames,
 )
 
 logger = logging.getLogger(__name__)
@@ -93,8 +92,12 @@ class PeerLink:
         # Steady-state cork: frames accepted while connected accumulate
         # here and a dedicated flusher task writes everything pending in
         # one write+drain — one event-loop round trip amortized over the
-        # whole batch instead of paid per frame.
-        self._cork: Deque[Dict[str, Any]] = deque()
+        # whole batch instead of paid per frame.  Each item is a
+        # ``(frame, future)`` pair; the future resolves True only once
+        # the frame has been written *and drained*, so ``send()`` keeps
+        # the at-the-socket contract callers rely on for replication
+        # bookkeeping.
+        self._cork: Deque[Tuple[Dict[str, Any], Optional[asyncio.Future]]] = deque()
         self._cork_limit = queue_limit if queue_limit > 0 else self.FLUSH_BATCH
         self._cork_event = asyncio.Event()
         self._cork_space = asyncio.Event()
@@ -144,12 +147,16 @@ class PeerLink:
         """Hand ``frame`` to the connected link; queue it when disconnected.
 
         While connected the frame joins the steady-state cork and the
-        flusher task writes everything pending in one ``write``+``drain``
-        (a write failure migrates the cork into the outage queue, so the
-        frame is still flushed on reconnect).  A queued or dropped frame
-        returns ``False``, so callers can keep honest "replicated"
-        bookkeeping.  A full cork blocks the caller — the same TCP
-        backpressure a per-frame drain used to apply.
+        flusher task writes everything pending in one ``write``+``drain``.
+        ``True`` is returned only after the frame has actually been
+        written *and drained* to the peer socket — never merely corked —
+        so a caller marking a message "replicated" on ``True`` can trust
+        the bytes left this host.  ``False`` means the frame was queued
+        for the next reconnect (or dropped: outage-queue eviction, or
+        unsendable because it is oversized) and the caller must keep the
+        entry un-replicated; the reconnect resync covers it.  Concurrent
+        senders share one corked write, so the per-frame drain cost is
+        still amortized across them.
         """
         if self._writer is None:
             self._enqueue(frame)
@@ -160,9 +167,10 @@ class PeerLink:
         if self._writer is None:
             self._enqueue(frame)
             return False
-        self._cork.append(frame)
+        future = asyncio.get_running_loop().create_future()
+        self._cork.append((frame, future))
         self._cork_event.set()
-        return True
+        return await future
 
     def _enqueue(self, frame: Dict[str, Any]) -> None:
         if self.queue_limit == 0:
@@ -177,15 +185,49 @@ class PeerLink:
     #: Frames corked into one write while flushing the outage queue.
     FLUSH_BATCH = 64
 
+    def _encode_one(self, frame: Dict[str, Any]) -> Optional[bytes]:
+        """Encode one frame, or ``None`` (counted + logged) if unsendable.
+
+        Encoding per frame means an oversized frame drops *itself* only —
+        a whole-batch encode would discard up to :attr:`FLUSH_BATCH`
+        innocent frames alongside the one offender.
+        """
+        try:
+            return encode_frames((frame,), binary=self._binary_active)
+        except ProtocolError as exc:   # oversized frame: unsendable anywhere
+            self.last_error = str(exc) or type(exc).__name__
+            self.frames_dropped += 1
+            logger.warning("%s: dropping unencodable frame: %s",
+                           self.name, exc)
+            return None
+
+    @staticmethod
+    def _resolve(item: Tuple[Dict[str, Any], Optional[asyncio.Future]],
+                 sent: bool) -> None:
+        future = item[1]
+        if future is not None and not future.done():
+            future.set_result(sent)
+
+    def _migrate(self, item: Tuple[Dict[str, Any], Optional[asyncio.Future]]) -> None:
+        """Move a corked frame into the outage queue, waking its sender.
+
+        The sender gets ``False`` — the frame has *not* reached the peer —
+        so the owning broker keeps the entry un-replicated and the
+        reconnect resync protects it even if the bounded outage queue
+        later evicts the frame.
+        """
+        self._resolve(item, False)
+        self._enqueue(item[0])
+
     async def _flush_queue(self) -> int:
         """Send everything queued during the outage, oldest first.
 
         Frames are corked into batches of :attr:`FLUSH_BATCH` and written
-        with a single drain each (:func:`~repro.runtime.wire.write_frames`)
-        — a resync after a long outage can hold thousands of frames, and a
-        per-frame drain would cost an event-loop round trip for each.  On a
-        write error the in-flight batch is pushed back intact, so ordering
-        is preserved for the next reconnect.
+        with a single drain each — a resync after a long outage can hold
+        thousands of frames, and a per-frame drain would cost an
+        event-loop round trip for each.  On a write error the in-flight
+        batch is pushed back intact, so ordering is preserved for the
+        next reconnect; an unsendable (oversized) frame is dropped alone.
         """
         flushed = 0
         queue = self._queue
@@ -195,23 +237,35 @@ class PeerLink:
                 break
             batch = [queue.popleft()
                      for _ in range(min(len(queue), self.FLUSH_BATCH))]
+            parts = []
+            sendable = []
+            for frame in batch:
+                blob = self._encode_one(frame)
+                if blob is not None:
+                    parts.append(blob)
+                    sendable.append(frame)
+            if not parts:
+                continue
             try:
-                await write_frames(writer, batch, binary=self._binary_active)
-            except (OSError, ProtocolError) as exc:
-                queue.extendleft(reversed(batch))   # went down again; keep order
+                writer.write(b"".join(parts))
+                await writer.drain()
+            except OSError as exc:
+                queue.extendleft(reversed(sendable))  # went down again; keep order
                 self.last_error = str(exc) or type(exc).__name__
                 self._drop_writer()
                 break
-            self.frames_sent += len(batch)
-            flushed += len(batch)
+            self.frames_sent += len(sendable)
+            flushed += len(sendable)
         return flushed
 
     async def _flush_loop(self) -> None:
         """Drain the steady-state cork: one write+drain per pending batch.
 
-        Runs for the lifetime of the link.  When the connection drops,
-        anything still corked migrates into the outage queue (preserving
-        order) so it is flushed on the next reconnect.
+        Runs for the lifetime of the link.  Each corked frame's future is
+        resolved True only after the batch carrying it has been written
+        and drained; when the connection drops, anything still corked
+        migrates into the outage queue (preserving order, resolving the
+        waiting senders False) so it is flushed on the next reconnect.
         """
         cork = self._cork
         while True:
@@ -221,29 +275,36 @@ class PeerLink:
                 writer = self._writer
                 if writer is None:
                     while cork:
-                        self._enqueue(cork.popleft())
+                        self._migrate(cork.popleft())
                     self._cork_space.set()
                     break
                 batch = [cork.popleft()
                          for _ in range(min(len(cork), self.FLUSH_BATCH))]
                 self._cork_space.set()
-                try:
-                    blob = encode_frames(batch, binary=self._binary_active)
-                except ProtocolError as exc:   # oversized frame: unsendable
-                    self.last_error = str(exc) or type(exc).__name__
-                    self.frames_dropped += len(batch)
+                parts = []
+                sendable = []
+                for item in batch:
+                    blob = self._encode_one(item[0])
+                    if blob is None:
+                        self._resolve(item, False)
+                    else:
+                        parts.append(blob)
+                        sendable.append(item)
+                if not parts:
                     continue
                 try:
-                    writer.write(blob)
+                    writer.write(b"".join(parts))
                     await writer.drain()
                 except OSError as exc:
                     self.last_error = str(exc) or type(exc).__name__
                     logger.warning("%s: peer write failed: %s", self.name, exc)
-                    cork.extendleft(reversed(batch))   # migrate via outage path
+                    cork.extendleft(reversed(sendable))  # migrate via outage path
                     self._drop_writer()
                     self._retry_now.set()
                     continue
-                self.frames_sent += len(batch)
+                self.frames_sent += len(sendable)
+                for item in sendable:
+                    self._resolve(item, True)
 
     # ------------------------------------------------------------------
     async def _run(self) -> None:
@@ -332,10 +393,12 @@ class PeerLink:
         self._connected_event.clear()
         # Wake anyone blocked on a full cork (they re-check the writer and
         # fall back to the outage queue) and migrate corked frames into
-        # the outage queue so the next reconnect flushes them in order.
+        # the outage queue so the next reconnect flushes them in order;
+        # their senders are resolved False so nothing still in flight is
+        # ever accounted as replicated.
         self._cork_space.set()
         while self._cork:
-            self._enqueue(self._cork.popleft())
+            self._migrate(self._cork.popleft())
         if writer is not None:
             try:
                 writer.close()

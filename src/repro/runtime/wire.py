@@ -27,7 +27,8 @@ Binary layouts (big-endian, after the 4-byte length prefix)::
     payload   := 0x00                      (None)
                | 0x01 len:u32 utf8-bytes   (str)
                | 0x02 len:u32 json-bytes   (any other JSON value)
-    publish   := 0x00 0x01 flags:u8 count:u16 message*   (flags bit0 = resend)
+    publish   := 0x00 0x01 flags:u8 count:u16 [plen:u16 publisher-utf8] message*
+                 (flags bit0 = resend, bit1 = publisher id present)
     deliver   := 0x00 0x02 message
     replica   := 0x00 0x03 flags:u8 [arrived_at:f64] message  (bit0 = stamped)
     prune     := 0x00 0x04 topic:u32 seq:u64
@@ -69,6 +70,7 @@ _PAYLOAD_JSON = 0x02
 
 _MESSAGE = struct.Struct(">IQd")       # topic, seq, created_at
 _U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
 _PUBLISH_HEAD = struct.Struct(">BBBH")  # marker, kind, flags, count
 _DELIVER_HEAD = struct.Struct(">BB")
 _REPLICA_HEAD = struct.Struct(">BBB")   # marker, kind, flags
@@ -157,9 +159,21 @@ def _encode_binary(frame: Dict[str, Any]) -> Optional[bytes]:
         messages = frame.get("messages", ())
         if len(messages) >= 1 << 16:
             return None
+        flags = 1 if frame.get("resend") else 0
+        publisher = frame.get("publisher")
+        pub_blob = b""
+        if publisher is not None:
+            if type(publisher) is not str:
+                return None
+            pub_blob = publisher.encode("utf-8")
+            if len(pub_blob) >= 1 << 16:
+                return None
+            flags |= 2
         parts.append(_PUBLISH_HEAD.pack(
-            _BIN_MARKER, _BIN_PUBLISH,
-            1 if frame.get("resend") else 0, len(messages)))
+            _BIN_MARKER, _BIN_PUBLISH, flags, len(messages)))
+        if flags & 2:
+            parts.append(_U16.pack(len(pub_blob)))
+            parts.append(pub_blob)
         for obj in messages:
             if not _pack_message(parts, obj):
                 return None
@@ -260,12 +274,29 @@ def _decode_binary(data: bytes) -> Dict[str, Any]:
             raise ProtocolError("truncated binary frame")
         _, _, flags, count = _PUBLISH_HEAD.unpack_from(data)
         pos = _PUBLISH_HEAD.size
+        publisher = None
+        if flags & 2:
+            end = pos + _U16.size
+            if end > len(data):
+                raise ProtocolError("truncated binary frame")
+            (plen,) = _U16.unpack_from(data, pos)
+            pos, end = end, end + plen
+            if end > len(data):
+                raise ProtocolError("truncated binary frame")
+            try:
+                publisher = data[pos:end].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ProtocolError("undecodable publisher id") from exc
+            pos = end
         messages = []
         for _ in range(count):
             message, pos = _unpack_message(data, pos)
             messages.append(message)
-        return {"type": "publish", "resend": bool(flags & 1),
-                "messages": messages}
+        frame = {"type": "publish", "resend": bool(flags & 1),
+                 "messages": messages}
+        if publisher is not None:
+            frame["publisher"] = publisher
+        return frame
     if kind == _BIN_DELIVER:
         message, _ = _unpack_message(data, _DELIVER_HEAD.size)
         return {"type": "deliver", "message": message}

@@ -259,6 +259,46 @@ def test_stuck_subscriber_block_policy_backpressures_then_recovers():
     asyncio.run(scenario())
 
 
+def test_resubscribe_after_transient_close_gets_fresh_subscription():
+    """A transient write error closes the subscription while the
+    connection's read loop lives on; a later subscribe on the same
+    connection must get a working replacement, not the dead one."""
+    async def scenario():
+        spec = suppressed_topic(0)
+        broker = await start_single(spec)
+        reader, writer = await open_raw(
+            broker.address, hello={"type": "hello", "role": "subscriber"})
+        publisher = Publisher([spec], broker.address, broker.address)
+        try:
+            await write_frame(writer, {"type": "subscribe",
+                                       "topics": [spec.topic_id]})
+            frame = await asyncio.wait_for(read_frame(reader), timeout=2.0)
+            assert frame == {"type": "subscribed"}
+            await publisher.start()
+            await publisher.publish({spec.topic_id: "one"})
+            frame = await asyncio.wait_for(read_frame(reader), timeout=2.0)
+            assert frame["type"] == "deliver"
+
+            (sub,) = broker._subscriptions
+            broker._close_subscription(sub)   # the transient-error path
+            assert sub.closed
+
+            await write_frame(writer, {"type": "subscribe",
+                                       "topics": [spec.topic_id]})
+            frame = await asyncio.wait_for(read_frame(reader), timeout=2.0)
+            assert frame == {"type": "subscribed"}
+            await publisher.publish({spec.topic_id: "two"})
+            frame = await asyncio.wait_for(read_frame(reader), timeout=2.0)
+            assert frame["type"] == "deliver"
+            assert decode_message(frame["message"]).data == "two"
+        finally:
+            await publisher.close()
+            writer.close()
+            await broker.close()
+
+    asyncio.run(scenario())
+
+
 # ----------------------------------------------------------------------
 # Publisher corking
 # ----------------------------------------------------------------------
@@ -283,6 +323,37 @@ def test_publisher_cork_backpressure_and_flush():
                 lambda: subscriber.delivered_seqs(spec.topic_id)
                 == set(range(1, total + 1)))
             assert ok, "corked publisher lost or reordered messages"
+        finally:
+            await publisher.close()
+            await subscriber.close()
+            await broker.close()
+
+    asyncio.run(scenario())
+
+
+def test_unserializable_payload_does_not_kill_publisher_flusher():
+    """A payload no codec can encode must be counted as a send failure
+    and dropped — the flusher task has to survive so later publishes
+    (and flush() waiters) keep working."""
+    async def scenario():
+        spec = suppressed_topic(0)
+        broker = await start_single(spec)
+        subscriber = Subscriber([spec.topic_id], broker.address,
+                                broker.address)
+        await subscriber.start()
+        await asyncio.sleep(0.2)
+        publisher = Publisher([spec], broker.address, broker.address,
+                              cork=True)
+        await publisher.start()
+        try:
+            await publisher.publish({spec.topic_id: object()})
+            await publisher.flush()           # must not hang on a dead task
+            assert publisher.send_failures >= 1
+            await publisher.publish({spec.topic_id: "fine"})
+            await publisher.flush()
+            ok = await wait_for(
+                lambda: 2 in subscriber.delivered_seqs(spec.topic_id))
+            assert ok, "flusher died after an unencodable payload"
         finally:
             await publisher.close()
             await subscriber.close()

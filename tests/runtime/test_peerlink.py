@@ -15,7 +15,7 @@ from repro.runtime import BrokerServer, PeerLink, Publisher, Subscriber
 from repro.runtime.broker import BACKUP, RuntimeBrokerConfig
 from repro.runtime.client import fetch_stats
 from repro.runtime.deployment import LocalDeployment
-from repro.runtime.wire import read_frame, write_frame
+from repro.runtime.wire import MAX_FRAME_BYTES, read_frame, write_frame
 
 from tests.runtime.test_runtime import (
     PARAMS,
@@ -83,6 +83,87 @@ def test_peerlink_connects_late_and_flushes_queue_in_order():
         assert [f["index"] for f in received[1:4]] == [0, 1, 2]
         assert link.connect_failures >= 1
         assert link.stats()["state"] == "disconnected"   # after stop()
+
+    asyncio.run(scenario())
+
+
+def test_send_true_only_after_flush_oversized_frame_drops_alone():
+    """The replication-protection contract: ``send() -> True`` means the
+    frame reached the socket.  An oversized (unencodable) frame must
+    return False and drop by itself — not take the rest of its corked
+    batch down with it."""
+    async def scenario():
+        received = []
+
+        async def on_peer(reader, writer):
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                received.append(frame)
+
+        server = await asyncio.start_server(on_peer, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        link = PeerLink(("127.0.0.1", port), hello_timeout=0.05)
+        await link.start()
+        await link.wait_connected(timeout=5.0)
+        oversized = {"type": "replica",
+                     "payload": "x" * (MAX_FRAME_BYTES + 16)}
+        results = await asyncio.gather(
+            link.send({"type": "replica", "index": 0}),
+            link.send(oversized),
+            link.send({"type": "replica", "index": 1}),
+        )
+        assert results == [True, False, True]
+        ok = await wait_for(
+            lambda: len([f for f in received if "index" in f]) >= 2)
+        await link.stop()
+        server.close()
+        await server.wait_closed()
+        assert ok
+        assert [f["index"] for f in received if "index" in f] == [0, 1]
+        assert link.frames_sent == 2
+        assert link.frames_dropped == 1
+
+    asyncio.run(scenario())
+
+
+def test_send_false_when_flush_fails_frame_lands_in_outage_queue():
+    """A frame whose corked flush never reaches the peer must resolve
+    ``send()`` to False (the caller keeps the entry un-replicated) and
+    migrate into the outage queue for the next reconnect."""
+    async def scenario():
+        async def on_peer(reader, writer):
+            while await read_frame(reader) is not None:
+                pass
+
+        server = await asyncio.start_server(on_peer, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        link = PeerLink(("127.0.0.1", port), hello_timeout=0.05)
+        await link.start()
+        await link.wait_connected(timeout=5.0)
+
+        class _BrokenWriter:
+            def write(self, data):
+                pass
+
+            async def drain(self):
+                raise BrokenPipeError("peer gone mid-flush")
+
+            def close(self):
+                pass
+
+        real_writer = link._writer
+        link._writer = _BrokenWriter()
+        sent = await link.send({"type": "replica", "index": 7})
+        assert sent is False
+        assert link.queue_depth == 1
+        assert link._queue[0]["index"] == 7
+        assert link.frames_queued == 1
+        real_writer.close()
+        await link.stop()
+        server.close()
+        await server.wait_closed()
 
     asyncio.run(scenario())
 

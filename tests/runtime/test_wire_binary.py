@@ -83,9 +83,13 @@ messages = st.builds(
 
 frames = st.one_of(
     st.builds(lambda m: {"type": "deliver", "message": m}, messages),
-    st.builds(lambda ms, resend: {"type": "publish", "resend": resend,
-                                  "messages": ms},
-              st.lists(messages, max_size=4), st.booleans()),
+    st.builds(lambda ms, resend, pub: (
+                  {"type": "publish", "resend": resend, "messages": ms}
+                  if pub is None else
+                  {"type": "publish", "resend": resend, "messages": ms,
+                   "publisher": pub}),
+              st.lists(messages, max_size=4), st.booleans(),
+              st.one_of(st.none(), st.text(max_size=16))),
     st.builds(lambda m, a: ({"type": "replica", "message": m,
                              "arrived_at": a} if a is not None
                             else {"type": "replica", "message": m}),
@@ -114,6 +118,7 @@ def test_frame_roundtrip_property(frame, binary):
                 assert roundtripped == pytest.approx(original, abs=1e-9)
     elif frame["type"] == "publish":
         assert bool(decoded.get("resend")) == frame["resend"]
+        assert decoded.get("publisher") == frame.get("publisher")
         assert len(decoded["messages"]) == len(frame["messages"])
         for got, sent in zip(decoded["messages"], frame["messages"]):
             assert_same_message(got, sent)
@@ -133,6 +138,19 @@ def test_binary_deliver_is_smaller_than_json():
     assert len(bin_blob) < len(json_blob) / 2
     assert bin_blob[4] == 0x00                   # binary marker
     assert json_blob[4:5] == b"{"
+
+
+def test_binary_publish_preserves_publisher_id():
+    # The publisher id must survive the binary codec, not silently vanish
+    # (JSON keeps it, so both codecs have to decode the same frame).
+    frame = {"type": "publish", "publisher": "edge-α", "resend": False,
+             "messages": [Message(1, 2, 3.0, data="x")]}
+    blob = encode_frames((frame,), binary=True)
+    assert blob[4] == 0x00        # publisher does not force a JSON fallback
+    (decoded,) = decode_all(blob)
+    assert decoded["publisher"] == "edge-α"
+    assert bool(decoded.get("resend")) is False
+    assert_same_message(decoded["messages"][0], frame["messages"][0])
 
 
 def test_binary_request_falls_back_to_json_when_unrepresentable():
