@@ -16,7 +16,10 @@ on real sockets.
 """
 
 from repro.runtime.broker import BrokerServer, RuntimeBrokerConfig
+from repro.runtime.chaosproxy import ChaosProxy
 from repro.runtime.client import Publisher, Subscriber, fetch_stats
+from repro.runtime.deployment import LocalDeployment
+from repro.runtime.invariants import InvariantChecker, InvariantReport, Violation
 from repro.runtime.peerlink import PeerLink
 from repro.runtime.wire import (
     MAX_FRAME_BYTES,
@@ -31,11 +34,16 @@ from repro.runtime.wire import (
 
 __all__ = [
     "BrokerServer",
+    "ChaosProxy",
+    "InvariantChecker",
+    "InvariantReport",
+    "LocalDeployment",
     "MAX_FRAME_BYTES",
     "PeerLink",
     "Publisher",
     "RuntimeBrokerConfig",
     "Subscriber",
+    "Violation",
     "decode_message",
     "encode_frames",
     "encode_message",

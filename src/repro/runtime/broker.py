@@ -26,13 +26,31 @@ Hardening (beyond the first runtime cut):
   workers cannot interleave records.
 * ``snapshot()`` exposes per-topic counters, deadline-miss and latency
   accounting, peer-link state, and worker health.
+
+Partition tolerance (beyond the paper's fail-stop fault model):
+
+* **Epoch fencing.**  Every broker carries a monotonically increasing
+  ``epoch`` (Primary boots at 1, a Backup adopts the Primary's epoch
+  from its pongs and bumps it on promotion).  The epoch rides in
+  ``hello``/``hello_ack``/``pong`` frames and stamps every broker-
+  originated ``deliver``/``replica``/``prune``.  A broker that sees a
+  *higher* epoch while acting as Primary demotes to the ``FENCED`` role:
+  it rejects new publishes (publishers discover this via ``fenced``
+  pongs and fail over), and its stale replicas/prunes are rejected by
+  the promoted peer with an explicit ``fence`` frame.  Dedup was the
+  only thing masking split-brain before; fencing removes the second
+  unfenced Primary entirely.
+* **Journal integrity.**  Records are CRC32 + length framed (see
+  :mod:`repro.runtime.journal`); boot-time ``prepare_journal`` truncates
+  torn tails and counts corrupt records instead of crashing or silently
+  re-ingesting garbage, and epoch transitions are journaled so a
+  crash-restart cannot resurrect a stale epoch.
 """
 
 from __future__ import annotations
 
 import asyncio
 import heapq
-import json
 import logging
 import time
 from collections import deque
@@ -48,6 +66,7 @@ from repro.core.timing import (
     pseudo_dispatch_deadline,
     pseudo_replication_deadline,
 )
+from repro.runtime import journal
 from repro.runtime.peerlink import PeerLink
 from repro.runtime.wire import (
     BINARY_CODEC,
@@ -65,6 +84,9 @@ logger = logging.getLogger(__name__)
 
 PRIMARY = "primary"
 BACKUP = "backup"
+#: A demoted stale Primary: superseded by a higher epoch, refuses new
+#: publishes, kept only so already-connected clients get clean signals.
+FENCED = "fenced"
 
 _DISPATCH = 0
 _REPLICATE = 1
@@ -84,6 +106,15 @@ class RuntimeBrokerConfig:
     poll_interval: float = 0.2
     reply_timeout: float = 0.2
     miss_threshold: int = 3
+    #: A freshly started Backup must either see one successful pong or
+    #: outlive this grace window before missed pings count toward
+    #: promotion — otherwise a Backup (re)started while the Primary is
+    #: briefly unreachable spuriously promotes at boot.
+    watch_grace: float = 1.0
+    #: Keepalive ping cadence on the Primary→Backup link (0 disables).
+    #: The pongs carry the peer's epoch, so a healed stale Primary
+    #: learns it was superseded even with no replica traffic flowing.
+    peer_ping_interval: float = 0.5
     #: For the disk-logging strategy (``policy.disk_logging``): where the
     #: synchronous journal lives.  ``None`` disables journaling even if
     #: the policy requests it (with a warning).
@@ -144,6 +175,10 @@ class RuntimeBrokerConfig:
             raise ValueError("flush_delay must be >= 0")
         if self.sub_queue_limit < 0:
             raise ValueError("sub_queue_limit must be >= 0")
+        if self.watch_grace < 0:
+            raise ValueError("watch_grace must be >= 0")
+        if self.peer_ping_interval < 0:
+            raise ValueError("peer_ping_interval must be >= 0")
 
 
 class _Entry:
@@ -230,6 +265,33 @@ class BrokerServer:
         self._journal_pending: List[bytes] = []
         self._journal_appended = 0
         self._journal_durable = 0
+        self._journal_scan: Optional[journal.JournalScan] = None
+        # Fencing state: a Primary boots into epoch 1, a Backup into 0
+        # (it adopts the Primary's epoch from the first pong).
+        self.epoch = 1 if role == PRIMARY else 0
+        self.fenced_by = 0
+        self.fenced_at: Optional[float] = None
+        self.fencing_events = 0
+        self.publishes_rejected_fenced = 0
+        self.stale_frames_rejected = 0
+        self.journal_corrupt_records = 0
+        self.journal_torn_tail = 0
+        if config.journal_path is not None and (
+                config.policy.disk_logging or config.recover_journal):
+            # Repair before the first append: truncate a torn tail,
+            # migrate a legacy JSON-lines file, surface corruption, and
+            # restore the persisted epoch so a crash-restart cannot
+            # resurrect a stale one.
+            scan = journal.prepare_journal(config.journal_path)
+            self._journal_scan = scan
+            self.journal_corrupt_records += scan.corrupt_records
+            if scan.torn_tail:
+                self.journal_torn_tail += 1
+            if scan.max_epoch > self.epoch:
+                self.epoch = scan.max_epoch
+            if scan.fenced and scan.max_epoch and self.role == PRIMARY:
+                self.role = FENCED
+                self.fenced_by = scan.max_epoch
         if config.policy.disk_logging:
             if config.journal_path is None:
                 logger.warning("%s: disk_logging policy without journal_path; "
@@ -386,6 +448,12 @@ class BrokerServer:
         kind = frame["type"]
         writer = conn.writer
         if kind == "publish":
+            if self.role == FENCED:
+                # A fenced (superseded) broker must not admit anything
+                # new; the publisher discovers the fencing via pongs and
+                # fails over, then its retention buffer re-sends.
+                self.publishes_rejected_fenced += len(frame.get("messages", ()))
+                return
             arrived_at = time.time()
             for obj in frame.get("messages", ()):
                 self._ingest(decode_message(obj), arrived_at,
@@ -395,13 +463,24 @@ class BrokerServer:
             # binary codec gets an acknowledgement (JSON, so old readers
             # cannot choke on it) and binary deliveries from now on;
             # anything else keeps the JSON-only contract.
+            peer_epoch = frame.get("epoch")
+            if peer_epoch is not None:
+                self._observe_epoch(int(peer_epoch))
             codecs = frame.get("codecs") or ()
+            ack = None
             if self.config.enable_binary_codec and BINARY_CODEC in codecs:
                 conn.binary = True
                 if conn.subscription is not None:
                     conn.subscription.binary = True
-                await write_frame(writer, {"type": "hello_ack",
-                                           "codec": BINARY_CODEC})
+                ack = {"type": "hello_ack", "codec": BINARY_CODEC,
+                       "epoch": self.epoch}
+            elif frame.get("role") == "peer":
+                # A peer link must learn our epoch even without codec
+                # negotiation: a healed stale Primary has to fence on
+                # reconnect, not on its first rejected replica.
+                ack = {"type": "hello_ack", "epoch": self.epoch}
+            if ack is not None:
+                await write_frame(writer, ack)
         elif kind == "subscribe":
             sub = conn.subscription
             if sub is None or sub.closed:
@@ -421,6 +500,8 @@ class BrokerServer:
                 conn.subscribed.add(int(topic_id))
             await write_frame(writer, {"type": "subscribed"})
         elif kind == "replica":
+            if not await self._gate_peer_frame(frame, writer):
+                return
             message = decode_message(frame["message"])
             # Honor the Primary's arrival stamp so recovery ordering and
             # latency accounting stay consistent across hosts; fall back
@@ -431,20 +512,123 @@ class BrokerServer:
                 arrived_at=(float(arrived_at) if arrived_at is not None
                             else time.time()))
         elif kind == "prune":
+            if not await self._gate_peer_frame(frame, writer):
+                return
             if self.backup_buffer.prune(int(frame["topic"]), int(frame["seq"])):
                 self.prunes_applied += 1
         elif kind == "ping":
-            await write_frame(writer, {"type": "pong", "nonce": frame.get("nonce")})
+            pong = {"type": "pong", "nonce": frame.get("nonce"),
+                    "epoch": self.epoch}
+            if self.role == FENCED:
+                pong["fenced"] = True
+            await write_frame(writer, pong)
+        elif kind == "fence":
+            self._fence(int(frame.get("epoch") or 0))
         elif kind == "stats":
             await write_frame(writer, {"type": "stats_reply", **self.snapshot()})
         else:
             raise ProtocolError(f"unknown frame type {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Epoch fencing
+    # ------------------------------------------------------------------
+    def _observe_epoch(self, epoch: int) -> None:
+        """Adopt a higher peer epoch; a Primary seeing one must fence."""
+        epoch = int(epoch or 0)
+        if epoch <= self.epoch:
+            return
+        if self.role == PRIMARY:
+            self._fence(epoch)
+        else:
+            self.epoch = epoch
+
+    def _fence(self, peer_epoch: int) -> None:
+        """Demote this Primary: a peer with a higher epoch has taken over.
+
+        The fenced broker stays up — already-connected subscribers keep
+        their deliveries, pings get answered with ``fenced: true`` so
+        publishers fail over — but it admits nothing new and journals the
+        fencing so a crash-restart cannot resurrect it as Primary.
+        """
+        peer_epoch = int(peer_epoch or 0)
+        if self.role != PRIMARY or peer_epoch <= self.epoch:
+            return
+        self.role = FENCED
+        self.epoch = peer_epoch
+        self.fenced_by = peer_epoch
+        self.fenced_at = time.time()
+        self.fencing_events += 1
+        logger.warning("%s: fenced by epoch %d; demoting from primary",
+                       self.name, peer_epoch)
+        self._journal_note_epoch(fenced=True)
+
+    async def _gate_peer_frame(self, frame, writer) -> bool:
+        """Admit a ``replica``/``prune`` only from a current-or-newer epoch.
+
+        A stale frame (lower epoch than ours) is rejected and answered
+        with an explicit ``fence`` frame, so the stale sender demotes
+        instead of believing its replicas landed.  Unstamped frames pass:
+        pre-epoch peers stay interoperable.
+        """
+        epoch = frame.get("epoch")
+        if epoch is None:
+            return True
+        epoch = int(epoch)
+        if epoch < self.epoch:
+            self.stale_frames_rejected += 1
+            try:
+                await write_frame(writer, {"type": "fence",
+                                           "epoch": self.epoch})
+            except (ConnectionResetError, OSError):
+                pass
+            return False
+        if epoch > self.epoch:
+            self._observe_epoch(epoch)
+        return True
+
+    def _on_peer_frame(self, frame: Dict[str, object]) -> None:
+        """Inbound frames on the Primary→Backup link (acks, pongs, fences)."""
+        if frame.get("type") == "fence":
+            self._fence(int(frame.get("epoch") or 0))
+            return
+        epoch = frame.get("epoch")
+        if epoch is not None:
+            self._observe_epoch(int(epoch))
+
+    def _journal_note_epoch(self, fenced: bool = False) -> None:
+        """Persist the current epoch (rare: promotion or fencing).
+
+        Written synchronously — an epoch transition must hit the disk
+        before anything else the broker does at the new epoch, and the
+        events are rare enough that one inline fsync is irrelevant.
+
+        Brokers that journal messages reuse the open handle; a broker
+        configured only for recovery (``recover_journal`` without the
+        disk-logging policy) appends the mark with a one-shot open, so
+        its epoch still survives a crash-restart.
+        """
+        if self._journal is None and self._journal_scan is None:
+            return   # no journal configured at all
+        blob = journal.epoch_record(self.epoch, fenced)
+        try:
+            if self._journal is not None:
+                self._journal_write_blob(blob)
+            else:
+                import os
+                with open(self.config.journal_path, "ab") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except (OSError, ValueError):
+            logger.exception("%s: failed to journal epoch %d",
+                             self.name, self.epoch)
 
     def snapshot(self) -> Dict[str, object]:
         """Observability counters (served on the wire via a ``stats`` frame)."""
         return {
             "name": self.name,
             "role": self.role,
+            "epoch": self.epoch,
             "uptime": round(time.time() - self._started_at, 6),
             "dispatched": self.dispatched,
             "replicated": self.replicated,
@@ -470,6 +654,20 @@ class BrokerServer:
                 "alive": len(self._worker_tasks),
                 "errors": self.worker_errors,
                 "respawned": self.workers_respawned,
+            },
+            "fencing": {
+                "fenced": self.role == FENCED,
+                "events": self.fencing_events,
+                "fenced_by": self.fenced_by,
+                "fenced_at": self.fenced_at,
+                "stale_frames_rejected": self.stale_frames_rejected,
+                "publishes_rejected": self.publishes_rejected_fenced,
+            },
+            "journal": {
+                "corrupt_records": self.journal_corrupt_records,
+                "torn_tail": self.journal_torn_tail,
+                "flushes": self.journal_flushes,
+                "records": self.journal_records,
             },
             "queued_jobs": len(self._heap),
             "backup_copies": self.backup_buffer.total_count(),
@@ -678,6 +876,8 @@ class BrokerServer:
             # hand the same bytes to every subscriber's outbound queue
             # (batched) or socket (direct).
             frame = {"type": "deliver", "message": message}
+            if self.epoch:
+                frame["epoch"] = self.epoch
             json_blob = binary_blob = None
             batched = self.config.batch_dispatch
             for sub in list(subscribers):
@@ -716,7 +916,8 @@ class BrokerServer:
             entry.cancelled_replication = True   # Table 3: abort at pop
         if coordination and entry.replicated and self._peer_link is not None:
             await self._peer_link.send({
-                "type": "prune", "topic": message.topic_id, "seq": message.seq})
+                "type": "prune", "topic": message.topic_id,
+                "seq": message.seq, "epoch": self.epoch})
             self.prunes_sent += 1
 
     async def _do_replicate(self, entry: _Entry, coordination: bool) -> None:
@@ -733,6 +934,7 @@ class BrokerServer:
             "type": "replica",
             "message": encode_message(message),
             "arrived_at": entry.arrived_at,
+            "epoch": self.epoch,
         })
         if not sent:
             # Queued (or dropped) while the Backup is away.  The entry
@@ -745,7 +947,8 @@ class BrokerServer:
             counters["replicated"] += 1
         if coordination and entry.dispatched:
             await link.send({
-                "type": "prune", "topic": message.topic_id, "seq": message.seq})
+                "type": "prune", "topic": message.topic_id,
+                "seq": message.seq, "epoch": self.epoch})
             self.prunes_sent += 1
 
     async def _replay_journal(self) -> None:
@@ -754,22 +957,23 @@ class BrokerServer:
         Runs after a grace period so subscribers have reconnected; each
         journaled record is re-ingested like a resent message (dedup at
         ingest and at the subscribers absorbs anything already seen).
+        The CRC-framed scan from ``__init__`` already separated intact
+        records from corruption, so only verified records are replayed.
         """
         await asyncio.sleep(self.config.journal_recovery_delay)
-        try:
-            with open(self.config.journal_path, "r", encoding="utf-8") as handle:
-                lines = handle.readlines()
-        except FileNotFoundError:
-            return
+        scan = self._journal_scan
+        if scan is None:   # pragma: no cover - __init__ always scans first
+            scan = journal.scan_journal(self.config.journal_path)
+            self.journal_corrupt_records += scan.corrupt_records
+            if scan.torn_tail:
+                self.journal_torn_tail += 1
         recovered = 0
         now = time.time()
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
+        for obj in scan.records:
             try:
-                message = decode_message(json.loads(line))
-            except (ValueError, ProtocolError):
+                message = decode_message(obj)
+            except ProtocolError:
+                self.journal_corrupt_records += 1
                 logger.warning("%s: skipping corrupt journal record", self.name)
                 continue
             self._ingest(message, now, resend=True)
@@ -785,12 +989,11 @@ class BrokerServer:
         *everything* pending in a single write+fsync, so workers that
         piled up behind a flush find their record already durable and
         return without touching the disk — the classic group-commit
-        pattern.  Records hit the file in append order, one JSON object
-        per line, exactly like the per-record path, so ``_replay_journal``
-        reads both old and new journals unchanged.
+        pattern.  Records hit the file in append order, each in its own
+        CRC32 + length envelope, exactly like the per-record path, so
+        ``_replay_journal`` reads both paths' output unchanged.
         """
-        record = json.dumps(encode_message(message),
-                            separators=(",", ":")).encode("utf-8") + b"\n"
+        record = journal.message_record(encode_message(message))
         self._journal_pending.append(record)
         self._journal_appended += 1
         ticket = self._journal_appended
@@ -813,9 +1016,7 @@ class BrokerServer:
         os.fsync(self._journal.fileno())
 
     def _journal_write(self, message: Message) -> None:
-        record = json.dumps(encode_message(message),
-                            separators=(",", ":")).encode("utf-8")
-        self._journal_write_blob(record + b"\n")
+        self._journal_write_blob(journal.message_record(encode_message(message)))
         self.journal_flushes += 1
         self.journal_records += 1
 
@@ -839,6 +1040,9 @@ class BrokerServer:
             queue_limit=config.peer_queue_limit,
             on_connected=self._on_peer_connected,
             binary=config.enable_binary_codec,
+            hello_extra=lambda: {"epoch": self.epoch},
+            on_frame=self._on_peer_frame,
+            ping_interval=config.peer_ping_interval,
         )
         await self._peer_link.start()
 
@@ -896,8 +1100,16 @@ class BrokerServer:
 
     async def _watch_primary(self) -> None:
         host, port = self.config.watch_address
+        loop = asyncio.get_running_loop()
         misses = 0
         nonce = 0
+        had_pong = False
+        # A Backup (re)started while the Primary is briefly unreachable
+        # must not promote off its very first polls: misses only count
+        # after one successful pong, or once the grace window has passed
+        # (so a Backup booted against a truly dead Primary still takes
+        # over, just not instantly).
+        grace_until = loop.time() + self.config.watch_grace
         reader = writer = None
         while not self._closed:
             try:
@@ -909,13 +1121,23 @@ class BrokerServer:
                                                timeout=self.config.reply_timeout)
                 if frame is None or frame.get("type") != "pong":
                     raise ConnectionResetError("bad pong")
+                had_pong = True
                 misses = 0
+                epoch = frame.get("epoch")
+                if epoch is not None:
+                    self._observe_epoch(int(epoch))
+                if frame.get("fenced"):
+                    # The watched broker was superseded and can never
+                    # un-fence; someone must serve, so take over now.
+                    self._promote()
+                    return
             except (OSError, asyncio.TimeoutError, ConnectionResetError,
                     ProtocolError):
-                misses += 1
                 if writer is not None:
                     writer.close()
                 reader = writer = None
+                if had_pong or loop.time() >= grace_until:
+                    misses += 1
                 if misses >= self.config.miss_threshold:
                     self._promote()
                     return
@@ -923,10 +1145,18 @@ class BrokerServer:
 
     def _promote(self) -> None:
         """Become the Primary: re-dispatch non-discarded Backup copies."""
-        if self.role == PRIMARY:
+        if self.role != BACKUP:
             return
         self.role = PRIMARY
-        logger.info("%s: promoting to primary", self.name)
+        # Supersede the old Primary's epoch.  The watcher normally saw at
+        # least one pong, so self.epoch holds the old Primary's epoch; a
+        # Backup that never reached it still promotes past the boot epoch
+        # (1), the common case for a Primary that died before first
+        # contact.
+        self.epoch = max(self.epoch + 1, 2)
+        self._journal_note_epoch(fenced=False)
+        logger.info("%s: promoting to primary (epoch %d)",
+                    self.name, self.epoch)
         now = time.time()
         for backup_entry in self.backup_buffer.all_entries():
             if backup_entry.discard:

@@ -1,0 +1,324 @@
+"""A transparent chaos TCP proxy for fault-injection drills.
+
+:class:`ChaosProxy` sits on any client↔broker or Primary↔Backup link
+(point it at the upstream, point the clients at the proxy) and injects
+link-level faults at runtime:
+
+* **Partition** — both directions stall; **blackhole** — one direction
+  stalls (the asymmetric partition that makes split-brain interesting:
+  pings reach the Primary but pongs never come back, or vice versa).
+  Stalled bytes are *held, not dropped*: TCP is a byte stream, and
+  discarding bytes mid-frame would corrupt the framing forever.  A heal
+  releases everything in order, exactly like a long network stall.
+* **Latency/jitter** — each forwarded chunk waits ``latency ± jitter``.
+* **Bandwidth cap** — forwarding is paced to ``bytes_per_second``.
+* **Half-open connections** — accepted sockets read and discard
+  client bytes but never connect upstream: the client sees an
+  established connection that produces nothing (the classic
+  silently-dead NAT entry).
+* **Connection rejection** — new connections are closed on accept.
+* **Mid-frame resets** — forward an ``nbytes`` prefix of the next
+  chunk, then abort both directions: the receiver is left holding a
+  torn frame.
+
+Everything is controllable per-direction while connections are live;
+``heal()`` restores clean pass-through.  The proxy never inspects
+frames — it is a byte pump, so it works under any codec.
+
+Directions are named from the connecting client's point of view:
+``c2s`` (client → upstream server) and ``s2c`` (upstream → client).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import random
+from typing import Dict, Optional, Set, Tuple
+
+logger = logging.getLogger(__name__)
+
+C2S = "c2s"
+S2C = "s2c"
+DIRECTIONS = (C2S, S2C)
+
+#: Read size of the byte pump.  Small enough that latency/bandwidth
+#: shaping has sub-chunk granularity under test loads.
+CHUNK = 64 * 1024
+
+
+class _Pipe:
+    """One proxied connection: a client socket glued to an upstream one."""
+
+    __slots__ = ("client_reader", "client_writer", "up_reader", "up_writer",
+                 "tasks")
+
+    def __init__(self, client_reader, client_writer, up_reader, up_writer):
+        self.client_reader = client_reader
+        self.client_writer = client_writer
+        self.up_reader = up_reader
+        self.up_writer = up_writer
+        self.tasks: Set[asyncio.Task] = set()
+
+    def abort(self) -> None:
+        for writer in (self.client_writer, self.up_writer):
+            if writer is None:
+                continue
+            try:
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()   # RST-style teardown, not FIN
+                else:   # pragma: no cover - defensive
+                    writer.close()
+            except Exception:   # pragma: no cover - defensive
+                pass
+
+
+class ChaosProxy:
+    """Transparent TCP proxy with runtime-controllable fault injection."""
+
+    def __init__(self, target: Tuple[str, int], host: str = "127.0.0.1",
+                 port: int = 0, name: str = "chaos-proxy"):
+        self.target = (target[0], int(target[1]))
+        self.host = host
+        self.port = port
+        self.name = name
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pipes: Set[_Pipe] = set()
+        # A set gate means "flowing"; clearing it stalls that direction.
+        self._gates: Dict[str, asyncio.Event] = {}
+        for direction in DIRECTIONS:
+            gate = asyncio.Event()
+            gate.set()
+            self._gates[direction] = gate
+        self.latency = 0.0
+        self.jitter = 0.0
+        self.bandwidth: Optional[float] = None       # bytes/second, None = ∞
+        self.half_open = False
+        self.reject_connections = False
+        self._truncate: Dict[str, Optional[int]] = {d: None for d in DIRECTIONS}
+        self._rng = random.Random()
+        # Counters.
+        self.connections_accepted = 0
+        self.connections_rejected = 0
+        self.connections_half_open = 0
+        self.resets = 0
+        self.bytes_forwarded: Dict[str, int] = {d: 0 for d in DIRECTIONS}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._on_connection,
+                                                  self.host, self.port)
+        if self._server.sockets:
+            self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("%s: proxying %s:%d -> %s:%d", self.name, self.host,
+                    self.port, *self.target)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Release stalled pumps so their tasks can observe the abort.
+        for gate in self._gates.values():
+            gate.set()
+        for pipe in list(self._pipes):
+            pipe.abort()
+        tasks = [task for pipe in list(self._pipes) for task in pipe.tasks]
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._pipes.clear()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------
+    # Fault controls (all take effect on live connections immediately)
+    # ------------------------------------------------------------------
+    def partition(self) -> None:
+        """Stall both directions: a full network partition."""
+        for gate in self._gates.values():
+            gate.clear()
+
+    def blackhole(self, direction: str = C2S) -> None:
+        """Stall one direction only (an asymmetric partition)."""
+        self._gate(direction).clear()
+
+    def set_latency(self, latency: float, jitter: float = 0.0) -> None:
+        """Delay every forwarded chunk by ``latency ± jitter`` seconds."""
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be >= 0")
+        self.latency = latency
+        self.jitter = jitter
+
+    def set_bandwidth(self, bytes_per_second: Optional[float]) -> None:
+        """Cap forwarding throughput (``None`` removes the cap)."""
+        if bytes_per_second is not None and bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive (or None)")
+        self.bandwidth = bytes_per_second
+
+    def set_half_open(self, enabled: bool = True) -> None:
+        """New connections read-and-discard; nothing reaches upstream."""
+        self.half_open = enabled
+
+    def set_reject_connections(self, enabled: bool = True) -> None:
+        """New connections are closed immediately on accept."""
+        self.reject_connections = enabled
+
+    def truncate_next(self, direction: str = S2C, nbytes: int = 2) -> None:
+        """Forward ``nbytes`` of the next chunk in ``direction``, then
+        abort the connection — the receiver holds a torn frame."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self._truncate[self._check_direction(direction)] = nbytes
+
+    def reset_connections(self) -> None:
+        """Abort every live proxied connection (RST both sides)."""
+        for pipe in list(self._pipes):
+            self.resets += 1
+            pipe.abort()
+
+    def heal(self) -> None:
+        """Clear every fault: gates open, shaping off, clean pass-through.
+
+        Stalled bytes that were held during a partition/blackhole resume
+        flowing in order, so in-flight frames survive the fault intact.
+        """
+        for gate in self._gates.values():
+            gate.set()
+        self.latency = 0.0
+        self.jitter = 0.0
+        self.bandwidth = None
+        self.half_open = False
+        self.reject_connections = False
+        for direction in DIRECTIONS:
+            self._truncate[direction] = None
+
+    def _check_direction(self, direction: str) -> str:
+        if direction not in DIRECTIONS:
+            raise ValueError(f"direction must be one of {DIRECTIONS}")
+        return direction
+
+    def _gate(self, direction: str) -> asyncio.Event:
+        return self._gates[self._check_direction(direction)]
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        if self.reject_connections:
+            self.connections_rejected += 1
+            writer.close()
+            return
+        if self.half_open:
+            # Swallow the client's bytes without ever touching upstream:
+            # the client believes it is connected and publishing.
+            self.connections_half_open += 1
+            try:
+                while await reader.read(CHUNK):
+                    pass
+            except (OSError, asyncio.CancelledError):
+                pass
+            finally:
+                writer.close()
+            return
+        # A connection attempted during a partition waits for the heal
+        # (like TCP SYN retries riding out a short outage) instead of
+        # failing fast — the stall semantics cover the handshake too.
+        await self._gates[C2S].wait()
+        await self._gates[S2C].wait()
+        try:
+            up_reader, up_writer = await asyncio.open_connection(*self.target)
+        except OSError:
+            writer.close()
+            return
+        self.connections_accepted += 1
+        pipe = _Pipe(reader, writer, up_reader, up_writer)
+        self._pipes.add(pipe)
+        pipe.tasks.add(asyncio.create_task(
+            self._pump(pipe, reader, up_writer, C2S)))
+        pipe.tasks.add(asyncio.create_task(
+            self._pump(pipe, up_reader, writer, S2C)))
+
+    async def _pump(self, pipe: _Pipe, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter, direction: str) -> None:
+        gate = self._gates[direction]
+        try:
+            while True:
+                try:
+                    chunk = await reader.read(CHUNK)
+                except (OSError, ValueError):
+                    break
+                if not chunk:
+                    break
+                # Stall (don't drop): hold the bytes until the heal.
+                if not gate.is_set():
+                    await gate.wait()
+                if self.latency > 0 or self.jitter > 0:
+                    delay = self.latency
+                    if self.jitter > 0:
+                        delay += self._rng.uniform(-self.jitter, self.jitter)
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                if self.bandwidth is not None:
+                    await asyncio.sleep(len(chunk) / self.bandwidth)
+                cut = self._truncate[direction]
+                if cut is not None:
+                    self._truncate[direction] = None
+                    torn = chunk[:cut]
+                    try:
+                        if torn:
+                            writer.write(torn)
+                            await writer.drain()
+                        self.bytes_forwarded[direction] += len(torn)
+                    except OSError:
+                        pass
+                    self.resets += 1
+                    pipe.abort()
+                    break
+                try:
+                    writer.write(chunk)
+                    await writer.drain()
+                except (OSError, ValueError):
+                    break
+                self.bytes_forwarded[direction] += len(chunk)
+        except asyncio.CancelledError:
+            raise
+        finally:
+            # One dead direction tears down the whole pipe: half-duplex
+            # proxied connections would otherwise linger forever.
+            pipe.abort()
+            pipe.tasks.discard(asyncio.current_task())
+            if not pipe.tasks:
+                self._pipes.discard(pipe)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "target": list(self.target),
+            "address": [self.host, self.port],
+            "live_connections": len(self._pipes),
+            "connections_accepted": self.connections_accepted,
+            "connections_rejected": self.connections_rejected,
+            "connections_half_open": self.connections_half_open,
+            "resets": self.resets,
+            "bytes_forwarded": dict(self.bytes_forwarded),
+            "faults": {
+                "partitioned": [d for d in DIRECTIONS
+                                if not self._gates[d].is_set()],
+                "latency": self.latency,
+                "jitter": self.jitter,
+                "bandwidth": self.bandwidth,
+                "half_open": self.half_open,
+                "reject_connections": self.reject_connections,
+            },
+        }

@@ -306,6 +306,13 @@ class Publisher:
                 if frame is None or frame.get("type") != "pong":
                     raise ConnectionResetError("bad pong")
                 misses = 0
+                if frame.get("fenced") and self.target_index == 0:
+                    # The Primary answered but admitted it was fenced
+                    # (superseded by a promoted Backup): publishing into
+                    # it is a black hole, so fail over immediately — the
+                    # retained re-send recovers anything it swallowed.
+                    await self._fail_over()
+                    return
             except (OSError, asyncio.TimeoutError, ConnectionResetError,
                     ProtocolError):
                 misses += 1
@@ -358,6 +365,10 @@ class Subscriber:
         self.received: Dict[int, Dict[int, float]] = {t: {} for t in self.topics}
         self.duplicates = 0
         self.reconnects = 0
+        #: Highest broker epoch seen on any ``deliver``; frames from a
+        #: lower epoch come from a superseded (stale) Primary.
+        self.max_epoch = 0
+        self.stale_epoch_drops = 0
         self._tasks: List[asyncio.Task] = []
         self._writers: List[asyncio.StreamWriter] = []
         self._frame_readers: List[FrameReader] = []
@@ -415,7 +426,8 @@ class Subscriber:
                     if frame is None:
                         break
                     if frame["type"] == "deliver":
-                        self._on_deliver(decode_message(frame["message"]))
+                        self._on_deliver(decode_message(frame["message"]),
+                                         frame.get("epoch"))
             except (ConnectionResetError, OSError, ProtocolError):
                 pass
             finally:
@@ -427,7 +439,19 @@ class Subscriber:
                     self._frame_readers.remove(frames)
             await asyncio.sleep(0.1)   # reconnect (e.g. broker restarted)
 
-    def _on_deliver(self, message: Message) -> None:
+    def _on_deliver(self, message: Message,
+                    epoch: Optional[int] = None) -> None:
+        if epoch:
+            epoch = int(epoch)
+            if self.max_epoch and epoch < self.max_epoch:
+                # A stale (fenced-or-about-to-be) Primary is still
+                # flushing deliveries from before the takeover.  Dropping
+                # them is safe: the publisher's retained re-send routes
+                # the same messages through the current Primary.
+                self.stale_epoch_drops += 1
+                return
+            if epoch > self.max_epoch:
+                self.max_epoch = epoch
         records = self.received.setdefault(message.topic_id, {})
         if message.seq in records:
             self.duplicates += 1

@@ -14,6 +14,16 @@ Usage::
         await publisher.publish({0: b"reading"})
         ...
         await deployment.crash_primary()   # drill fail-over
+
+With ``chaos=True`` both inter-broker links (Primary→Backup replication
+and the Backup's promotion watcher) are routed through
+:class:`~repro.runtime.chaosproxy.ChaosProxy` instances, so network
+faults can be scripted at runtime::
+
+    async with LocalDeployment(topics, chaos=True) as deployment:
+        deployment.partition()          # Primary <-/-> Backup
+        ...                             # Backup promotes, split-brain forms
+        deployment.heal()               # stale Primary gets fenced
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from repro.core.model import TopicSpec
 from repro.core.policy import FRAME, ConfigPolicy
 from repro.core.timing import DeadlineParameters
 from repro.runtime.broker import BACKUP, PRIMARY, BrokerServer, RuntimeBrokerConfig
+from repro.runtime.chaosproxy import ChaosProxy
 from repro.runtime.client import Publisher, Subscriber
 
 
@@ -38,7 +49,8 @@ class LocalDeployment:
                  poll_interval: float = 0.1,
                  reply_timeout: float = 0.3,
                  miss_threshold: int = 3,
-                 broker_overrides: Optional[Dict[str, object]] = None):
+                 broker_overrides: Optional[Dict[str, object]] = None,
+                 chaos: bool = False):
         if not specs:
             raise ValueError("a deployment needs at least one topic")
         self.specs = list(specs)
@@ -56,24 +68,47 @@ class LocalDeployment:
         #: this deployment creates (e.g. ``enable_binary_codec``,
         #: ``batch_dispatch``, ``journal_group_commit`` for benchmarking).
         self.broker_overrides = dict(broker_overrides or {})
+        #: Route both inter-broker links through chaos proxies so
+        #: partitions/blackholes/latency can be injected at runtime.
+        self.chaos = chaos
         self.primary: Optional[BrokerServer] = None
         self.backup: Optional[BrokerServer] = None
+        #: Primary→Backup replication link proxy (``chaos=True`` only).
+        self.proxy_to_backup: Optional[ChaosProxy] = None
+        #: Backup→Primary watcher link proxy (``chaos=True`` only).
+        self.proxy_to_primary: Optional[ChaosProxy] = None
         self._publishers: List[Publisher] = []
         self._subscribers: List[Subscriber] = []
         self._retired: List[BrokerServer] = []
         self._started = False
+        self._closed = False
 
     # ------------------------------------------------------------------
     async def start(self) -> "LocalDeployment":
         if self._started:
             raise RuntimeError("deployment already started")
+        self._closed = False
         self.backup = BrokerServer(self.host, 0, self._broker_config(),
                                    role=BACKUP, name="backup")
         await self.backup.start()
+        peer_address = self.backup.address
+        if self.chaos:
+            self.proxy_to_backup = ChaosProxy(self.backup.address,
+                                              host=self.host,
+                                              name="proxy-to-backup")
+            await self.proxy_to_backup.start()
+            peer_address = self.proxy_to_backup.address
         self.primary = BrokerServer(self.host, 0, self._broker_config(
-            peer_address=self.backup.address), role=PRIMARY, name="primary")
+            peer_address=peer_address), role=PRIMARY, name="primary")
         await self.primary.start()
-        self.backup.config.watch_address = self.primary.address
+        watch_address = self.primary.address
+        if self.chaos:
+            self.proxy_to_primary = ChaosProxy(self.primary.address,
+                                               host=self.host,
+                                               name="proxy-to-primary")
+            await self.proxy_to_primary.start()
+            watch_address = self.proxy_to_primary.address
+        self.backup.config.watch_address = watch_address
         self.backup._tasks.append(
             asyncio.create_task(self.backup._watch_primary()))
         await asyncio.sleep(0.05)   # let the peer link establish
@@ -81,6 +116,9 @@ class LocalDeployment:
         return self
 
     async def close(self) -> None:
+        if self._closed:
+            return   # idempotent: chaos teardown paths may close twice
+        self._closed = True
         for publisher in self._publishers:
             await publisher.close()
         for subscriber in self._subscribers:
@@ -88,6 +126,9 @@ class LocalDeployment:
         for broker in [self.primary, self.backup] + self._retired:
             if broker is not None and not broker._closed:
                 await broker.close()
+        for proxy in (self.proxy_to_backup, self.proxy_to_primary):
+            if proxy is not None:
+                await proxy.close()
         self._started = False
 
     async def __aenter__(self) -> "LocalDeployment":
@@ -146,6 +187,28 @@ class LocalDeployment:
         return subscriber
 
     # ------------------------------------------------------------------
+    # Network chaos (requires ``chaos=True``)
+    # ------------------------------------------------------------------
+    def _require_chaos(self) -> None:
+        self._require_started()
+        if not self.chaos:
+            raise RuntimeError(
+                "network faults need LocalDeployment(chaos=True)")
+
+    def partition(self) -> None:
+        """Partition Primary↔Backup: replication and the promotion
+        watcher both stall (held, not dropped — a heal resumes them)."""
+        self._require_chaos()
+        self.proxy_to_backup.partition()
+        self.proxy_to_primary.partition()
+
+    def heal(self) -> None:
+        """Clear every injected network fault on both inter-broker links."""
+        self._require_chaos()
+        self.proxy_to_backup.heal()
+        self.proxy_to_primary.heal()
+
+    # ------------------------------------------------------------------
     # Chaos drills: crash/restart either broker, re-protect the survivor
     # ------------------------------------------------------------------
     def _broker_config(self, **overrides) -> RuntimeBrokerConfig:
@@ -175,6 +238,8 @@ class LocalDeployment:
         watch = (self.primary.address
                  if self.primary is not None and not self.primary._closed
                  else None)
+        if watch is not None and self.proxy_to_primary is not None:
+            watch = self.proxy_to_primary.address
         self.backup = BrokerServer(self.host, old.port, self._broker_config(
             watch_address=watch), role=BACKUP, name=old.name)
         self._retired.append(old)
@@ -210,9 +275,10 @@ class LocalDeployment:
     @staticmethod
     async def _wait_until(predicate, timeout: float, what: str,
                           interval: float = 0.02) -> None:
-        deadline = asyncio.get_event_loop().time() + timeout
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
         while not predicate():
-            if asyncio.get_event_loop().time() >= deadline:
+            if loop.time() >= deadline:
                 raise asyncio.TimeoutError(what)
             await asyncio.sleep(interval)
 

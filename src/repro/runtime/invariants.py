@@ -1,0 +1,186 @@
+"""FRAME runtime invariants, checked over a live deployment.
+
+The chaos harness (:mod:`tools.chaos_runtime`) interleaves partitions,
+crashes, restarts, and heals over a :class:`~repro.runtime.deployment
+.LocalDeployment`; after every heal it asks :class:`InvariantChecker`
+whether the system still satisfies what the paper promises (and what the
+fencing layer adds):
+
+1. **Zero loss of admitted messages** — every sequence number a
+   publisher assigned is eventually delivered to every subscriber of
+   that topic.  FRAME's argument (Proposition 1 + retention sizing)
+   bounds the loss window by the publisher's retention buffer; the
+   harness keeps per-fault publish bursts within retention, so "zero
+   loss" is the exact expectation, not an approximation.
+2. **At-most-once after dedup** — the per-subscriber ``received`` maps
+   are keyed by ``(topic, seq)``, so a seq can only be recorded once;
+   the check therefore verifies there are no *phantom* deliveries
+   (sequence numbers beyond what the publisher ever assigned), which is
+   what double-dispatch bugs produce once dedup hides plain repeats.
+3. **Per-topic monotonic coverage** — the delivered seq set per topic is
+   exactly ``{1..high}`` with no holes once the system settles (follows
+   from 1 + 2, checked explicitly for a sharper failure message).
+4. **At most one unfenced Primary** — after fencing, split-brain must
+   resolve to exactly one broker in the ``primary`` role across the
+   deployment's live brokers (the stale one must be ``fenced``).
+
+All checks are *eventual* with a timeout: chaos leaves deliveries in
+flight, so each predicate is polled until it holds or the deadline
+expires, and only expiry is a violation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.runtime.broker import PRIMARY, BrokerServer
+from repro.runtime.client import Publisher, Subscriber
+from repro.runtime.deployment import LocalDeployment
+
+
+@dataclass
+class Violation:
+    """One failed invariant, with enough detail to debug the run."""
+
+    invariant: str
+    detail: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"invariant": self.invariant, "detail": self.detail}
+
+
+@dataclass
+class InvariantReport:
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"ok": self.ok,
+                "violations": [v.as_dict() for v in self.violations]}
+
+
+class InvariantChecker:
+    """Checks the FRAME invariants over a live deployment's clients."""
+
+    def __init__(self, deployment: LocalDeployment,
+                 publishers: Sequence[Publisher],
+                 subscribers: Sequence[Subscriber],
+                 timeout: float = 5.0, poll: float = 0.05):
+        self.deployment = deployment
+        self.publishers = list(publishers)
+        self.subscribers = list(subscribers)
+        self.timeout = timeout
+        self.poll = poll
+
+    # ------------------------------------------------------------------
+    def _expected_high(self) -> Dict[int, int]:
+        """Highest sequence number any publisher assigned, per topic."""
+        high: Dict[int, int] = {}
+        for publisher in self.publishers:
+            for topic_id, seq in publisher._seq.items():
+                high[topic_id] = max(high.get(topic_id, 0), seq)
+        return high
+
+    def _live_brokers(self) -> List[BrokerServer]:
+        brokers = [self.deployment.primary, self.deployment.backup]
+        brokers.extend(self.deployment._retired)
+        return [b for b in brokers if b is not None and not b._closed]
+
+    async def _eventually(self, predicate) -> bool:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.timeout
+        while True:
+            if predicate():
+                return True
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(self.poll)
+
+    # ------------------------------------------------------------------
+    async def check_zero_loss(self) -> List[Violation]:
+        """Every admitted (published) seq reaches every subscriber."""
+        high = self._expected_high()
+        violations: List[Violation] = []
+        for subscriber in self.subscribers:
+            for topic_id in subscriber.topics:
+                expected = set(range(1, high.get(topic_id, 0) + 1))
+                if not expected:
+                    continue
+                ok = await self._eventually(
+                    lambda s=subscriber, t=topic_id, e=expected:
+                        e <= s.delivered_seqs(t))
+                if not ok:
+                    missing = sorted(
+                        expected - subscriber.delivered_seqs(topic_id))
+                    violations.append(Violation(
+                        "zero_loss",
+                        f"{subscriber.name} topic {topic_id}: "
+                        f"missing seqs {missing[:16]}"
+                        f"{'…' if len(missing) > 16 else ''} "
+                        f"({len(missing)} of {len(expected)})"))
+        return violations
+
+    async def check_no_phantoms(self) -> List[Violation]:
+        """No subscriber holds a seq beyond the publishers' high water."""
+        high = self._expected_high()
+        violations: List[Violation] = []
+        for subscriber in self.subscribers:
+            for topic_id in subscriber.topics:
+                delivered = subscriber.delivered_seqs(topic_id)
+                phantoms = sorted(s for s in delivered
+                                  if s > high.get(topic_id, 0) or s < 1)
+                if phantoms:
+                    violations.append(Violation(
+                        "at_most_once",
+                        f"{subscriber.name} topic {topic_id}: phantom "
+                        f"seqs {phantoms[:16]} beyond high water "
+                        f"{high.get(topic_id, 0)}"))
+        return violations
+
+    async def check_monotonic_coverage(self) -> List[Violation]:
+        """Delivered seqs per topic form a gapless prefix {1..high}."""
+        high = self._expected_high()
+        violations: List[Violation] = []
+        for subscriber in self.subscribers:
+            for topic_id in subscriber.topics:
+                expected = set(range(1, high.get(topic_id, 0) + 1))
+                ok = await self._eventually(
+                    lambda s=subscriber, t=topic_id, e=expected:
+                        s.delivered_seqs(t) == e)
+                if not ok:
+                    delivered = subscriber.delivered_seqs(topic_id)
+                    violations.append(Violation(
+                        "seq_coverage",
+                        f"{subscriber.name} topic {topic_id}: delivered "
+                        f"{len(delivered)} seqs, expected exactly "
+                        f"1..{high.get(topic_id, 0)}"))
+        return violations
+
+    async def check_single_unfenced_primary(self) -> List[Violation]:
+        """At most one live broker may hold the unfenced Primary role."""
+        def primaries() -> List[str]:
+            return [b.name for b in self._live_brokers()
+                    if b.role == PRIMARY]
+
+        ok = await self._eventually(lambda: len(primaries()) <= 1)
+        if ok:
+            return []
+        names = primaries()
+        return [Violation(
+            "single_primary",
+            f"{len(names)} unfenced primaries alive: {names}")]
+
+    async def check_all(self) -> InvariantReport:
+        report = InvariantReport()
+        # Order matters for debuggability: fencing first (it explains
+        # most downstream failures), then loss, then the sharper checks.
+        report.violations.extend(await self.check_single_unfenced_primary())
+        report.violations.extend(await self.check_zero_loss())
+        report.violations.extend(await self.check_no_phantoms())
+        report.violations.extend(await self.check_monotonic_coverage())
+        return report

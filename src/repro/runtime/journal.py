@@ -1,0 +1,231 @@
+"""Crash-safe journal records: CRC32 + length framing, scan and repair.
+
+The first runtime journal was newline-delimited JSON appended with
+``write``+``fsync``.  That format cannot tell a *torn tail* (the broker
+died mid-``write``) from a complete record, and a corrupted byte anywhere
+turns the rest of the file into garbage that replay either crashes on or
+silently re-ingests.  This module gives every record its own integrity
+envelope::
+
+    record := length:u32 crc32:u32 payload-bytes
+    payload := UTF-8 JSON object
+        {"topic":..,"seq":..,"created_at":..,"payload":..}  (a message)
+        {"epoch": N, "fenced": bool}                        (an epoch mark)
+
+``scan_journal`` walks a journal byte-exactly and classifies every
+record: intact records are returned for replay, a record whose CRC does
+not match its bytes is *skipped and counted* (framing survives, so the
+records after it are still recovered), and an incomplete final record is
+reported as a torn tail with the offset replay-safe appends must resume
+from.  ``prepare_journal`` additionally repairs the file in place —
+truncating a torn tail so new appends cannot produce a mid-file framing
+break, and migrating a legacy JSON-lines journal to the framed layout.
+
+Epoch marks persist the fencing state machine (see
+:mod:`repro.runtime.broker`): a promotion appends ``{"epoch": N}`` and a
+fencing event appends ``{"epoch": N, "fenced": true}``, so a
+crash-restarted broker resumes from the highest epoch it ever observed
+instead of resurrecting a stale one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Upper bound on one journal record; a length field beyond this is a
+#: corrupted header (framing lost — the scan stops there).
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+_RECORD_HEAD = struct.Struct(">II")     # length, crc32(payload)
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Wrap ``payload`` in the length + CRC32 integrity envelope."""
+    if len(payload) > MAX_RECORD_BYTES:
+        raise ValueError(f"journal record of {len(payload)} bytes exceeds limit")
+    return _RECORD_HEAD.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) \
+        + payload
+
+
+def encode_record(obj: Dict[str, Any]) -> bytes:
+    """One framed record holding ``obj`` as compact JSON."""
+    return frame_record(json.dumps(obj, separators=(",", ":")).encode("utf-8"))
+
+
+@dataclass
+class JournalScan:
+    """Everything a replay (or repair) needs to know about one journal."""
+
+    #: Intact message records, in append order (dicts for
+    #: :func:`repro.runtime.wire.decode_message`).
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Byte offset of the end of the last framing-intact record — the
+    #: truncation point that makes the file safe to append to again.
+    good_offset: int = 0
+    #: Records whose envelope was intact but whose bytes were not
+    #: (CRC mismatch or undecodable JSON).  Skipped, never replayed.
+    corrupt_records: int = 0
+    #: True when the file ends mid-record (header or payload cut short).
+    torn_tail: bool = False
+    #: True when the file was in the legacy JSON-lines layout.
+    legacy: bool = False
+    #: Highest epoch mark in the journal (0 = none recorded).
+    max_epoch: int = 0
+    #: Whether the record carrying ``max_epoch`` was a fencing mark.
+    fenced: bool = False
+
+
+def _note_record(scan: JournalScan, obj: Any) -> None:
+    if not isinstance(obj, dict):
+        scan.corrupt_records += 1
+        return
+    if "epoch" in obj:
+        try:
+            epoch = int(obj["epoch"])
+        except (TypeError, ValueError):
+            scan.corrupt_records += 1
+            return
+        if epoch >= scan.max_epoch:
+            scan.max_epoch = epoch
+            scan.fenced = bool(obj.get("fenced"))
+        return
+    if "topic" in obj:
+        scan.records.append(obj)
+    # Unknown-but-intact record kinds are ignored (forward compatibility).
+
+
+def _scan_framed(data: bytes) -> JournalScan:
+    scan = JournalScan()
+    pos = 0
+    size = len(data)
+    while pos < size:
+        if size - pos < _RECORD_HEAD.size:
+            scan.torn_tail = True
+            break
+        length, crc = _RECORD_HEAD.unpack_from(data, pos)
+        if length > MAX_RECORD_BYTES:
+            # A corrupted header loses the framing; nothing after it can
+            # be trusted to start on a record boundary.
+            scan.corrupt_records += 1
+            break
+        end = pos + _RECORD_HEAD.size + length
+        if end > size:
+            scan.torn_tail = True
+            break
+        payload = data[pos + _RECORD_HEAD.size:end]
+        pos = scan.good_offset = end
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            scan.corrupt_records += 1
+            continue
+        try:
+            obj = json.loads(payload)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            scan.corrupt_records += 1
+            continue
+        _note_record(scan, obj)
+    return scan
+
+
+def _scan_legacy(data: bytes) -> JournalScan:
+    scan = JournalScan(legacy=True)
+    complete = data.endswith(b"\n")
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        last = index == len(lines) - 1
+        try:
+            obj = json.loads(line)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            if last and not complete:
+                scan.torn_tail = True   # the write died mid-line
+            else:
+                scan.corrupt_records += 1
+            continue
+        _note_record(scan, obj)
+    scan.good_offset = len(data)
+    return scan
+
+
+def scan_journal(path: str) -> JournalScan:
+    """Classify every record in the journal at ``path`` (missing = empty)."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return JournalScan()
+    if not data:
+        return JournalScan()
+    if data[0] == 0x7B:   # '{' — the legacy JSON-lines layout
+        return _scan_legacy(data)
+    return _scan_framed(data)
+
+
+def prepare_journal(path: str) -> JournalScan:
+    """Scan ``path`` and repair it for safe appends.
+
+    * A torn tail is truncated to the last intact record boundary, so
+      the next append starts on a clean frame instead of welding new
+      records onto half of an old one.
+    * A legacy JSON-lines journal is rewritten in the framed layout
+      (atomically, via a temp file + ``os.replace``); its intact records
+      and epoch marks survive, corrupt lines are dropped.
+
+    Mid-file corrupt records are left in place — the framing around them
+    is intact, replay skips them, and rewriting the whole file on every
+    boot would turn one flipped bit into a full-journal copy.
+    """
+    scan = scan_journal(path)
+    if scan.legacy:
+        tmp = path + ".migrate"
+        with open(tmp, "wb") as handle:
+            for obj in scan.records:
+                handle.write(encode_record(obj))
+            if scan.max_epoch:
+                handle.write(encode_record(
+                    {"epoch": scan.max_epoch, "fenced": scan.fenced}))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    elif scan.torn_tail:
+        with open(path, "rb+") as handle:
+            handle.truncate(scan.good_offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return scan
+
+
+def message_record(encoded_message: Dict[str, Any]) -> bytes:
+    """Framed journal record for one wire-encoded message dict."""
+    return encode_record(encoded_message)
+
+
+def epoch_record(epoch: int, fenced: bool = False) -> bytes:
+    """Framed journal record marking an epoch transition."""
+    obj: Dict[str, Any] = {"epoch": int(epoch)}
+    if fenced:
+        obj["fenced"] = True
+    return encode_record(obj)
+
+
+def record_offsets(path: str) -> List[Optional[int]]:
+    """Byte offsets of each framing-intact record (testing/tooling aid)."""
+    offsets: List[int] = []
+    with open(path, "rb") as handle:
+        data = handle.read()
+    pos = 0
+    while pos + _RECORD_HEAD.size <= len(data):
+        length, _ = _RECORD_HEAD.unpack_from(data, pos)
+        if length > MAX_RECORD_BYTES or pos + _RECORD_HEAD.size + length > len(data):
+            break
+        offsets.append(pos)
+        pos += _RECORD_HEAD.size + length
+    return offsets

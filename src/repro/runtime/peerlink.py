@@ -18,6 +18,10 @@ component instead:
   counterpart of the simulator's ``Broker.attach_peer``.
 * **Liveness**: a reader task watches the connection for EOF so a dead
   Backup is detected immediately, not on the next replication write.
+  With ``ping_interval`` set the link also sends periodic keepalive
+  pings; the pongs (which carry the peer's fencing epoch) reach the
+  owning broker through ``on_frame``, so a Primary learns it has been
+  superseded even on a link that is connected but carrying no replicas.
 
 All counters are exported through :meth:`stats` and surface in the
 broker's ``stats`` wire frame.
@@ -55,7 +59,10 @@ class PeerLink:
                  backoff_factor: float = 2.0, backoff_jitter: float = 0.1,
                  queue_limit: int = 256,
                  on_connected: Optional[Callable[[bool], Awaitable[None]]] = None,
-                 binary: bool = True, hello_timeout: float = 0.25):
+                 binary: bool = True, hello_timeout: float = 0.25,
+                 hello_extra: Optional[Callable[[], Dict[str, Any]]] = None,
+                 on_frame: Optional[Callable[[Dict[str, Any]], None]] = None,
+                 ping_interval: float = 0.0):
         if backoff_initial <= 0 or backoff_max < backoff_initial:
             raise ValueError("backoff bounds must satisfy 0 < initial <= max")
         if backoff_factor < 1.0:
@@ -72,6 +79,9 @@ class PeerLink:
         self.on_connected = on_connected
         self.binary = binary
         self.hello_timeout = hello_timeout
+        self.hello_extra = hello_extra
+        self.on_frame = on_frame
+        self.ping_interval = ping_interval
         self.state = DISCONNECTED
         self.connects = 0            # successful connection establishments
         self.disconnects = 0         # established connections that dropped
@@ -103,6 +113,8 @@ class PeerLink:
         self._cork_space = asyncio.Event()
         self._cork_space.set()
         self._flush_task: Optional[asyncio.Task] = None
+        self._ping_task: Optional[asyncio.Task] = None
+        self._ping_nonce = 0
 
     # ------------------------------------------------------------------
     @property
@@ -118,10 +130,12 @@ class PeerLink:
             raise RuntimeError("peer link already started")
         self._task = asyncio.create_task(self._run())
         self._flush_task = asyncio.create_task(self._flush_loop())
+        if self.ping_interval > 0:
+            self._ping_task = asyncio.create_task(self._ping_loop())
 
     async def stop(self) -> None:
         self._closed = True
-        for task_name in ("_task", "_flush_task"):
+        for task_name in ("_task", "_flush_task", "_ping_task"):
             task = getattr(self, task_name)
             if task is not None:
                 task.cancel()
@@ -306,6 +320,34 @@ class PeerLink:
                 for item in sendable:
                     self._resolve(item, True)
 
+    def _deliver_frame(self, frame: Dict[str, Any]) -> None:
+        """Hand an inbound frame to the owning broker's ``on_frame`` hook."""
+        if self.on_frame is None:
+            return
+        try:
+            self.on_frame(frame)
+        except Exception:
+            logger.exception("%s: on_frame hook failed", self.name)
+
+    async def _ping_loop(self) -> None:
+        """Keepalive pings while connected (epoch probing, not liveness).
+
+        EOF detection already covers dead peers; these pings exist so the
+        peer's *pong* — which carries its fencing epoch — flows back over
+        an otherwise idle link.  A partition-healed stale Primary with no
+        replica traffic would otherwise never learn it was superseded.
+        """
+        while not self._closed:
+            await asyncio.sleep(self.ping_interval)
+            if self._writer is None:
+                continue
+            self._ping_nonce += 1
+            try:
+                await self.send({"type": "ping", "nonce": self._ping_nonce,
+                                 "from": self.name})
+            except Exception:   # pragma: no cover - send never raises today
+                logger.exception("%s: keepalive ping failed", self.name)
+
     # ------------------------------------------------------------------
     async def _run(self) -> None:
         backoff = self.backoff_initial
@@ -317,6 +359,8 @@ class PeerLink:
                 hello: Dict[str, Any] = {"type": "hello", "role": "peer"}
                 if self.binary:
                     hello["codecs"] = [BINARY_CODEC]
+                if self.hello_extra is not None:
+                    hello.update(self.hello_extra())
                 await write_frame(writer, hello)
             except OSError as exc:
                 self.connect_failures += 1
@@ -335,9 +379,11 @@ class PeerLink:
                                                  timeout=self.hello_timeout)
                 except (asyncio.TimeoutError, OSError, ProtocolError):
                     ack = None
-                if (isinstance(ack, dict) and ack.get("type") == "hello_ack"
-                        and ack.get("codec") == BINARY_CODEC):
-                    self._binary_active = True
+                if isinstance(ack, dict):
+                    if (ack.get("type") == "hello_ack"
+                            and ack.get("codec") == BINARY_CODEC):
+                        self._binary_active = True
+                    self._deliver_frame(ack)
             self._writer = writer
             self.state = CONNECTED
             self.connects += 1
@@ -358,17 +404,20 @@ class PeerLink:
             first = False
             # Watch the connection for EOF / errors (liveness). Inbound
             # frames are drained; a late hello_ack upgrades the codec,
-            # everything else (e.g. pongs) is ignored.
+            # everything (pongs, fence frames, the ack itself) is handed
+            # to the owning broker via on_frame.
             try:
                 while self._writer is writer:
                     frame = await frames.read_frame()
                     if frame is None:
                         break
-                    if (isinstance(frame, dict)
-                            and frame.get("type") == "hello_ack"
+                    if not isinstance(frame, dict):
+                        continue
+                    if (frame.get("type") == "hello_ack"
                             and frame.get("codec") == BINARY_CODEC
                             and self.binary):
                         self._binary_active = True
+                    self._deliver_frame(frame)
             except (OSError, ProtocolError):
                 pass
             if not self._closed:

@@ -7,7 +7,7 @@ Two payload codecs share that framing:
   discriminator.  Inspectable with standard tools, and the only codec
   low-rate frames (``hello``, ``subscribe``, ``stats``, ``ping``/``pong``)
   ever use — so the control plane stays debuggable.
-* **Binary** (``bin1``): a ``struct``-packed fast path for the four
+* **Binary** (``bin2``): a ``struct``-packed fast path for the four
   high-rate data-plane frame types — ``publish``, ``deliver``,
   ``replica``, and ``prune`` — whose per-message JSON encode/decode cost
   dominates small-payload edge workloads (the paper's 16-byte messages).
@@ -17,7 +17,7 @@ starts with ``{`` (0x7B) while a binary payload always starts with the
 marker byte 0x00, so any reader accepts both transparently.  Negotiation
 is therefore only needed for the *sending* direction: a peer may emit
 binary frames once the other side has advertised (``hello`` with
-``"codecs": ["bin1"]``) or acknowledged (``hello_ack``) the codec; JSON
+``"codecs": ["bin2"]``) or acknowledged (``hello_ack``) the codec; JSON
 remains the universal fallback, which keeps old clients, the journal,
 and debug tooling working unchanged.
 
@@ -29,9 +29,14 @@ Binary layouts (big-endian, after the 4-byte length prefix)::
                | 0x02 len:u32 json-bytes   (any other JSON value)
     publish   := 0x00 0x01 flags:u8 count:u16 [plen:u16 publisher-utf8] message*
                  (flags bit0 = resend, bit1 = publisher id present)
-    deliver   := 0x00 0x02 message
-    replica   := 0x00 0x03 flags:u8 [arrived_at:f64] message  (bit0 = stamped)
-    prune     := 0x00 0x04 topic:u32 seq:u64
+    deliver   := 0x00 0x02 epoch:u32 message
+    replica   := 0x00 0x03 flags:u8 epoch:u32 [arrived_at:f64] message
+                 (flags bit0 = arrived_at stamped)
+    prune     := 0x00 0x04 epoch:u32 topic:u32 seq:u64
+
+Broker-originated frames (``deliver``/``replica``/``prune``) carry the
+sender's fencing epoch; 0 means "unstamped" and decodes to an absent
+``"epoch"`` key, which keeps pre-epoch peers interoperable.
 
 A frame that does not fit the binary schema (unknown type, huge batch,
 out-of-range ids) silently falls back to JSON inside the same stream —
@@ -52,7 +57,8 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 
 #: Name of the binary codec advertised in ``hello`` frames and echoed in
 #: ``hello_ack``; bump when the binary layout changes incompatibly.
-BINARY_CODEC = "bin1"
+#: ``bin2`` added the epoch field to broker-originated frames.
+BINARY_CODEC = "bin2"
 
 _LENGTH = struct.Struct(">I")
 
@@ -72,9 +78,9 @@ _MESSAGE = struct.Struct(">IQd")       # topic, seq, created_at
 _U32 = struct.Struct(">I")
 _U16 = struct.Struct(">H")
 _PUBLISH_HEAD = struct.Struct(">BBBH")  # marker, kind, flags, count
-_DELIVER_HEAD = struct.Struct(">BB")
-_REPLICA_HEAD = struct.Struct(">BBB")   # marker, kind, flags
-_PRUNE = struct.Struct(">BBIQ")         # marker, kind, topic, seq
+_DELIVER_HEAD = struct.Struct(">BBI")   # marker, kind, epoch
+_REPLICA_HEAD = struct.Struct(">BBBI")  # marker, kind, flags, epoch
+_PRUNE = struct.Struct(">BBIIQ")        # marker, kind, epoch, topic, seq
 _F64 = struct.Struct(">d")
 
 
@@ -151,6 +157,17 @@ def _pack_message(parts: List[bytes], obj) -> bool:
     return _pack_payload(parts, message.data)
 
 
+def _frame_epoch(frame: Dict[str, Any]) -> Optional[int]:
+    """Epoch stamp for ``frame`` (0 = unstamped); ``None`` if out of range."""
+    epoch = frame.get("epoch")
+    if epoch is None:
+        return 0
+    epoch = int(epoch)
+    if not 0 <= epoch < 1 << 32:
+        return None
+    return epoch
+
+
 def _encode_binary(frame: Dict[str, Any]) -> Optional[bytes]:
     """Binary payload for ``frame``, or ``None`` if it must go as JSON."""
     kind = frame.get("type")
@@ -178,22 +195,31 @@ def _encode_binary(frame: Dict[str, Any]) -> Optional[bytes]:
             if not _pack_message(parts, obj):
                 return None
     elif kind == "deliver":
-        parts.append(_DELIVER_HEAD.pack(_BIN_MARKER, _BIN_DELIVER))
+        epoch = _frame_epoch(frame)
+        if epoch is None:
+            return None
+        parts.append(_DELIVER_HEAD.pack(_BIN_MARKER, _BIN_DELIVER, epoch))
         if not _pack_message(parts, frame["message"]):
             return None
     elif kind == "replica":
+        epoch = _frame_epoch(frame)
+        if epoch is None:
+            return None
         arrived_at = frame.get("arrived_at")
         parts.append(_REPLICA_HEAD.pack(
-            _BIN_MARKER, _BIN_REPLICA, 0 if arrived_at is None else 1))
+            _BIN_MARKER, _BIN_REPLICA, 0 if arrived_at is None else 1, epoch))
         if arrived_at is not None:
             parts.append(_F64.pack(float(arrived_at)))
         if not _pack_message(parts, frame["message"]):
             return None
     elif kind == "prune":
+        epoch = _frame_epoch(frame)
+        if epoch is None:
+            return None
         topic, seq = int(frame["topic"]), int(frame["seq"])
         if not (0 <= topic < 1 << 32 and 0 <= seq < 1 << 64):
             return None
-        return _PRUNE.pack(_BIN_MARKER, _BIN_PRUNE, topic, seq)
+        return _PRUNE.pack(_BIN_MARKER, _BIN_PRUNE, epoch, topic, seq)
     else:
         return None
     return b"".join(parts)
@@ -298,12 +324,18 @@ def _decode_binary(data: bytes) -> Dict[str, Any]:
             frame["publisher"] = publisher
         return frame
     if kind == _BIN_DELIVER:
+        if len(data) < _DELIVER_HEAD.size:
+            raise ProtocolError("truncated binary frame")
+        _, _, epoch = _DELIVER_HEAD.unpack_from(data)
         message, _ = _unpack_message(data, _DELIVER_HEAD.size)
-        return {"type": "deliver", "message": message}
+        frame = {"type": "deliver", "message": message}
+        if epoch:
+            frame["epoch"] = epoch
+        return frame
     if kind == _BIN_REPLICA:
         if len(data) < _REPLICA_HEAD.size:
             raise ProtocolError("truncated binary frame")
-        flags = data[2]
+        _, _, flags, epoch = _REPLICA_HEAD.unpack_from(data)
         pos = _REPLICA_HEAD.size
         arrived_at = None
         if flags & 1:
@@ -315,12 +347,17 @@ def _decode_binary(data: bytes) -> Dict[str, Any]:
         frame = {"type": "replica", "message": message}
         if arrived_at is not None:
             frame["arrived_at"] = arrived_at
+        if epoch:
+            frame["epoch"] = epoch
         return frame
     if kind == _BIN_PRUNE:
         if len(data) < _PRUNE.size:
             raise ProtocolError("truncated binary frame")
-        _, _, topic, seq = _PRUNE.unpack(data[:_PRUNE.size])
-        return {"type": "prune", "topic": topic, "seq": seq}
+        _, _, epoch, topic, seq = _PRUNE.unpack(data[:_PRUNE.size])
+        frame = {"type": "prune", "topic": topic, "seq": seq}
+        if epoch:
+            frame["epoch"] = epoch
+        return frame
     raise ProtocolError(f"unknown binary frame kind {kind}")
 
 

@@ -1,0 +1,251 @@
+"""ChaosProxy behavior: each fault kind, and byte integrity across heals.
+
+Every test runs a trivial upstream echo server and talks to it through
+the proxy, so what is asserted is exactly what the runtime brokers see:
+a byte stream that stalls, slows, tears, or dies according to the
+injected fault — and resumes *intact* after a heal (stall-not-drop).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.chaosproxy import C2S, S2C, ChaosProxy
+
+
+class EchoServer:
+    """Echoes every chunk back; records all bytes it received."""
+
+    def __init__(self):
+        self.server = None
+        self.received = bytearray()
+
+    async def start(self):
+        self.server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        self.address = self.server.sockets[0].getsockname()[:2]
+
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                chunk = await reader.read(4096)
+                if not chunk:
+                    break
+                self.received.extend(chunk)
+                writer.write(chunk)
+                await writer.drain()
+        except (OSError, ConnectionResetError):
+            pass
+        finally:
+            writer.close()
+
+    async def close(self):
+        self.server.close()
+        await self.server.wait_closed()
+
+
+async def proxied_echo():
+    upstream = EchoServer()
+    await upstream.start()
+    proxy = ChaosProxy(upstream.address)
+    await proxy.start()
+    return upstream, proxy
+
+
+async def teardown(upstream, proxy, *writers):
+    for writer in writers:
+        try:
+            writer.close()
+        except Exception:
+            pass
+    await proxy.close()
+    await upstream.close()
+
+
+def test_clean_passthrough():
+    async def scenario():
+        upstream, proxy = await proxied_echo()
+        reader, writer = await asyncio.open_connection(*proxy.address)
+        writer.write(b"hello")
+        await writer.drain()
+        echoed = await asyncio.wait_for(reader.readexactly(5), timeout=2.0)
+        stats = proxy.stats()
+        await teardown(upstream, proxy, writer)
+        return echoed, stats
+
+    echoed, stats = asyncio.run(scenario())
+    assert echoed == b"hello"
+    assert stats["connections_accepted"] == 1
+    assert stats["bytes_forwarded"][C2S] == 5
+    assert stats["bytes_forwarded"][S2C] == 5
+
+
+def test_latency_injection_delays_chunks():
+    async def scenario():
+        upstream, proxy = await proxied_echo()
+        reader, writer = await asyncio.open_connection(*proxy.address)
+        proxy.set_latency(0.15)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        writer.write(b"ping")
+        await writer.drain()
+        await asyncio.wait_for(reader.readexactly(4), timeout=5.0)
+        elapsed = loop.time() - started
+        await teardown(upstream, proxy, writer)
+        return elapsed
+
+    # Two traversals (c2s + s2c), each delayed 0.15 s.
+    assert asyncio.run(scenario()) >= 0.25
+
+
+def test_partition_stalls_then_heal_releases_bytes_intact():
+    async def scenario():
+        upstream, proxy = await proxied_echo()
+        reader, writer = await asyncio.open_connection(*proxy.address)
+        writer.write(b"pre-")
+        await asyncio.wait_for(reader.readexactly(4), timeout=2.0)
+        proxy.partition()
+        writer.write(b"held")
+        await writer.drain()
+        await asyncio.sleep(0.2)
+        stalled = bytes(upstream.received)   # must not contain "held" yet
+        proxy.heal()
+        echoed = await asyncio.wait_for(reader.readexactly(4), timeout=2.0)
+        await teardown(upstream, proxy, writer)
+        return stalled, echoed, bytes(upstream.received)
+
+    stalled, echoed, final = asyncio.run(scenario())
+    assert stalled == b"pre-", "partitioned bytes leaked through the stall"
+    assert echoed == b"held", "held bytes were dropped instead of released"
+    assert final == b"pre-held", "byte stream was reordered across the heal"
+
+
+def test_blackhole_is_one_directional():
+    async def scenario():
+        upstream, proxy = await proxied_echo()
+        reader, writer = await asyncio.open_connection(*proxy.address)
+        proxy.blackhole(S2C)   # requests arrive, echoes never come back
+        writer.write(b"lost?")
+        await writer.drain()
+        arrived = False
+        for _ in range(50):
+            if upstream.received == b"lost?":
+                arrived = True
+                break
+            await asyncio.sleep(0.02)
+        with pytest.raises(asyncio.TimeoutError):
+            await asyncio.wait_for(reader.readexactly(5), timeout=0.3)
+        proxy.heal()
+        echoed = await asyncio.wait_for(reader.readexactly(5), timeout=2.0)
+        await teardown(upstream, proxy, writer)
+        return arrived, echoed
+
+    arrived, echoed = asyncio.run(scenario())
+    assert arrived, "c2s direction should stay open under an s2c blackhole"
+    assert echoed == b"lost?"
+
+
+def test_half_open_swallows_without_upstream():
+    async def scenario():
+        upstream, proxy = await proxied_echo()
+        proxy.set_half_open()
+        reader, writer = await asyncio.open_connection(*proxy.address)
+        writer.write(b"into the void")
+        await writer.drain()
+        await asyncio.sleep(0.1)
+        received_upstream = bytes(upstream.received)
+        stats = proxy.stats()
+        await teardown(upstream, proxy, writer)
+        return received_upstream, stats
+
+    received_upstream, stats = asyncio.run(scenario())
+    assert received_upstream == b""
+    assert stats["connections_half_open"] == 1
+    assert stats["connections_accepted"] == 0
+
+
+def test_reject_connections_closes_on_accept():
+    async def scenario():
+        upstream, proxy = await proxied_echo()
+        proxy.set_reject_connections()
+        reader, writer = await asyncio.open_connection(*proxy.address)
+        eof = await asyncio.wait_for(reader.read(1), timeout=2.0)
+        stats = proxy.stats()
+        await teardown(upstream, proxy, writer)
+        return eof, stats
+
+    eof, stats = asyncio.run(scenario())
+    assert eof == b""
+    assert stats["connections_rejected"] == 1
+
+
+def test_truncate_next_tears_mid_frame_and_resets():
+    async def scenario():
+        upstream, proxy = await proxied_echo()
+        reader, writer = await asyncio.open_connection(*proxy.address)
+        proxy.truncate_next(S2C, nbytes=2)
+        writer.write(b"abcdef")
+        await writer.drain()
+        got = await asyncio.wait_for(reader.read(1024), timeout=2.0)
+        tail = await asyncio.wait_for(reader.read(1024), timeout=2.0)
+        stats = proxy.stats()
+        await teardown(upstream, proxy, writer)
+        return got, tail, stats
+
+    got, tail, stats = asyncio.run(scenario())
+    assert got == b"ab", "truncation must forward exactly the prefix"
+    assert tail == b"", "connection must be torn down after the prefix"
+    assert stats["resets"] == 1
+
+
+def test_reset_connections_aborts_live_pipes():
+    async def scenario():
+        upstream, proxy = await proxied_echo()
+        reader, writer = await asyncio.open_connection(*proxy.address)
+        writer.write(b"warm")
+        await asyncio.wait_for(reader.readexactly(4), timeout=2.0)
+        proxy.reset_connections()
+        dead = await asyncio.wait_for(reader.read(1024), timeout=2.0)
+        stats = proxy.stats()
+        await teardown(upstream, proxy, writer)
+        return dead, stats
+
+    dead, stats = asyncio.run(scenario())
+    assert dead == b""
+    assert stats["resets"] >= 1
+
+
+def test_connection_during_partition_waits_for_heal():
+    async def scenario():
+        upstream, proxy = await proxied_echo()
+        proxy.partition()
+
+        async def connect_and_echo():
+            reader, writer = await asyncio.open_connection(*proxy.address)
+            writer.write(b"late")
+            await writer.drain()
+            out = await asyncio.wait_for(reader.readexactly(4), timeout=5.0)
+            writer.close()
+            return out
+
+        task = asyncio.create_task(connect_and_echo())
+        await asyncio.sleep(0.2)
+        assert not task.done(), "handshake should ride out the partition"
+        proxy.heal()
+        echoed = await task
+        await teardown(upstream, proxy)
+        return echoed
+
+    assert asyncio.run(scenario()) == b"late"
+
+
+def test_invalid_fault_parameters_rejected():
+    proxy = ChaosProxy(("127.0.0.1", 1))
+    with pytest.raises(ValueError):
+        proxy.set_latency(-1)
+    with pytest.raises(ValueError):
+        proxy.set_bandwidth(0)
+    with pytest.raises(ValueError):
+        proxy.truncate_next(S2C, nbytes=-1)
+    with pytest.raises(ValueError):
+        proxy.blackhole("sideways")
+    assert C2S in proxy.stats()["bytes_forwarded"]

@@ -18,6 +18,7 @@ from repro.core.model import Message
 from repro.core.policy import DISK_LOG
 from repro.runtime import BrokerServer, Publisher, RuntimeBrokerConfig, Subscriber
 from repro.runtime.client import fetch_stats
+from repro.runtime.journal import scan_journal
 from repro.runtime.wire import BINARY_CODEC, decode_message, read_frame, write_frame
 
 from tests.runtime.test_runtime import (
@@ -394,13 +395,14 @@ def test_journal_group_commit_format_matches_per_record(tmp_path):
     asyncio.run(scenario(False, per_record))
 
     def parse(path):
-        lines = path.read_text().strip().splitlines()
-        return [decode_message(json.loads(line)) for line in lines]
+        scan = scan_journal(str(path))
+        assert scan.corrupt_records == 0 and not scan.torn_tail
+        return [decode_message(record) for record in scan.records]
 
     grouped_messages = parse(grouped)
     per_record_messages = parse(per_record)
     assert len(grouped_messages) == len(per_record_messages) == 20
-    # Same ndjson schema either way: replay cannot tell them apart.
+    # Same framed record schema either way: replay cannot tell them apart.
     assert ({m.seq for m in grouped_messages}
             == {m.seq for m in per_record_messages} == set(range(1, 21)))
 

@@ -115,3 +115,29 @@ def test_double_start_rejected():
         return True
 
     assert asyncio.run(scenario())
+
+
+def test_close_is_idempotent():
+    # Chaos teardown paths (harness finally-blocks plus context-manager
+    # exits) can close the same deployment twice; the second close must
+    # be a no-op, not a cascade of double-close errors.
+    async def scenario():
+        deployment = LocalDeployment([replicated_topic()])
+        await deployment.start()
+        await deployment.close()
+        await deployment.close()
+        return True
+
+    assert asyncio.run(scenario())
+
+
+def test_chaos_controls_require_chaos_mode():
+    async def scenario():
+        async with LocalDeployment([replicated_topic()]) as deployment:
+            with pytest.raises(RuntimeError, match="chaos=True"):
+                deployment.partition()
+            with pytest.raises(RuntimeError, match="chaos=True"):
+                deployment.heal()
+        return True
+
+    assert asyncio.run(scenario())

@@ -1,0 +1,282 @@
+"""Epoch fencing: split-brain resolution, stale-frame rejection, grace.
+
+The headline test builds a real partition with ``LocalDeployment(chaos=
+True)``: the Backup promotes behind the partition, the stale Primary
+keeps accepting publishes, and the heal must resolve the brain — the
+stale Primary demotes to ``fenced``, the publisher fails over, and
+*every* message (including those published into the stale side) reaches
+the subscriber exactly once.  The remaining tests pin the mechanism
+piece by piece: the ``fence`` reply to stale replicas, the subscriber's
+stale-epoch drop, journal-persisted epochs across restarts, and the
+watch-grace fix that keeps a freshly booted Backup from promoting off
+its very first failed polls.
+"""
+
+import asyncio
+
+from repro.core.model import EDGE, TopicSpec
+from repro.core.timing import DeadlineParameters
+from repro.runtime.broker import (
+    BACKUP,
+    FENCED,
+    PRIMARY,
+    BrokerServer,
+    RuntimeBrokerConfig,
+)
+from repro.runtime.client import Subscriber
+from repro.runtime.deployment import LocalDeployment
+from repro.runtime.journal import epoch_record
+from repro.runtime.wire import encode_message, read_frame, write_frame
+from repro.core.model import Message
+
+from tests.runtime.test_runtime import PARAMS, wait_for
+
+#: Fast-failover deployment knobs: the Backup notices a dead/partitioned
+#: Primary in about watch_grace + miss_threshold * poll ≈ 3 s.
+FAST = dict(poll_interval=0.1, reply_timeout=0.3, miss_threshold=5)
+
+#: Retention 8 covers every burst the tests publish into a fault window,
+#: so zero loss is the exact expectation (FRAME's retention argument).
+SPEC = TopicSpec(topic_id=0, period=0.2, deadline=2.0, loss_tolerance=0,
+                 retention=8, destination=EDGE, category=2)
+
+SPLIT_PARAMS = DeadlineParameters(
+    delta_pb=0.01, delta_bb=0.01, delta_bs_edge=0.02,
+    delta_bs_cloud=0.1, failover_time=0.5)
+
+
+def test_partition_heal_fences_stale_primary():
+    """Split-brain forms behind a partition and resolves on heal with
+    zero loss and exactly one unfenced Primary."""
+    async def scenario():
+        deployment = LocalDeployment([SPEC], params=SPLIT_PARAMS,
+                                     chaos=True, **FAST)
+        await deployment.start()
+        try:
+            subscriber = await deployment.add_subscriber()
+            publisher = await deployment.add_publisher()
+            await publisher.publish({0: "before"})
+            assert await wait_for(
+                lambda: subscriber.delivered_seqs(0) == {1})
+
+            stale = deployment.primary
+            deployment.partition()
+            await asyncio.wait_for(deployment.backup.promoted.wait(),
+                                   timeout=10.0)
+            # The publisher still points at the stale Primary: these
+            # publishes land on the minority side of the brain.
+            for index in range(4):
+                await publisher.publish({0: f"minority-{index}"})
+
+            deployment.heal()
+            assert await wait_for(lambda: stale.role == FENCED,
+                                  timeout=10.0), "stale Primary not fenced"
+            await asyncio.wait_for(publisher.failed_over.wait(),
+                                   timeout=10.0)
+            await publisher.publish({0: "after"})
+
+            # Zero loss: all 6 seqs delivered, nothing beyond them.
+            assert await wait_for(
+                lambda: subscriber.delivered_seqs(0) == set(range(1, 7)),
+                timeout=10.0), (
+                f"lost messages: have {sorted(subscriber.delivered_seqs(0))}")
+
+            # Exactly one unfenced Primary remains.
+            roles = [deployment.primary.role, deployment.backup.role]
+            assert roles.count(PRIMARY) == 1
+            assert deployment.backup.role == PRIMARY
+            assert deployment.backup.epoch > stale.epoch or \
+                deployment.backup.epoch == stale.epoch  # stale adopted it
+
+            fencing = stale.snapshot()["fencing"]
+            assert fencing["fenced"] is True
+            assert fencing["events"] == 1
+            assert fencing["fenced_by"] >= 2
+            return True
+        finally:
+            await deployment.close()
+
+    assert asyncio.run(scenario())
+
+
+def test_fenced_broker_rejects_publishes():
+    async def scenario():
+        broker = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={0: SPEC}, params=PARAMS), role=PRIMARY)
+        await broker.start()
+        try:
+            broker._fence(7)
+            assert broker.role == FENCED and broker.epoch == 7
+            reader, writer = await asyncio.open_connection(*broker.address)
+            message = Message(0, 1, 0.0, data="refused")
+            await write_frame(writer, {"type": "publish",
+                                       "messages": [encode_message(message)]})
+            # The ping path must advertise the fencing to pollers.
+            await write_frame(writer, {"type": "ping", "nonce": 1})
+            pong = await asyncio.wait_for(read_frame(reader), timeout=2.0)
+            writer.close()
+            return broker.publishes_rejected_fenced, pong
+        finally:
+            await broker.close()
+
+    rejected, pong = asyncio.run(scenario())
+    assert rejected == 1
+    assert pong["fenced"] is True and pong["epoch"] == 7
+
+
+def test_stale_replica_answered_with_fence_frame():
+    async def scenario():
+        broker = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={0: SPEC}, params=PARAMS), role=BACKUP)
+        await broker.start()
+        broker.epoch = 5        # as if promoted to epoch 5 already
+        try:
+            reader, writer = await asyncio.open_connection(*broker.address)
+            await write_frame(writer, {"type": "hello", "role": "peer"})
+            ack = await asyncio.wait_for(read_frame(reader), timeout=2.0)
+            message = Message(0, 1, 0.0, data="stale")
+            await write_frame(writer, {"type": "replica", "epoch": 3,
+                                       "message": encode_message(message)})
+            fence = await asyncio.wait_for(read_frame(reader), timeout=2.0)
+            stored = broker.backup_buffer.total_count()
+            writer.close()
+            return ack, fence, stored, broker.stale_frames_rejected
+        finally:
+            await broker.close()
+
+    ack, fence, stored, rejected = asyncio.run(scenario())
+    assert ack == {"type": "hello_ack", "epoch": 5}
+    assert fence["type"] == "fence" and fence["epoch"] == 5
+    assert stored == 0, "a stale replica must not be stored"
+    assert rejected == 1
+
+
+def test_current_epoch_replica_accepted():
+    async def scenario():
+        broker = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={0: SPEC}, params=PARAMS), role=BACKUP)
+        await broker.start()
+        broker.epoch = 5
+        try:
+            reader, writer = await asyncio.open_connection(*broker.address)
+            message = Message(0, 1, 0.0, data="fresh")
+            await write_frame(writer, {"type": "replica", "epoch": 5,
+                                       "message": encode_message(message)})
+            ok = await wait_for(
+                lambda: broker.backup_buffer.total_count() == 1)
+            writer.close()
+            return ok, broker.stale_frames_rejected
+        finally:
+            await broker.close()
+
+    ok, rejected = asyncio.run(scenario())
+    assert ok and rejected == 0
+
+
+def test_subscriber_drops_stale_epoch_deliveries():
+    subscriber = Subscriber([0], ("127.0.0.1", 1), ("127.0.0.1", 1))
+    subscriber._on_deliver(Message(0, 1, 0.0, data="new"), epoch=3)
+    subscriber._on_deliver(Message(0, 2, 0.0, data="old"), epoch=2)
+    subscriber._on_deliver(Message(0, 2, 0.0, data="resent"), epoch=3)
+    assert subscriber.delivered_seqs(0) == {1, 2}
+    assert subscriber.stale_epoch_drops == 1
+    assert subscriber.max_epoch == 3
+    # Unstamped deliveries (pre-epoch brokers) still pass.
+    subscriber._on_deliver(Message(0, 3, 0.0, data="legacy"))
+    assert subscriber.delivered_seqs(0) == {1, 2, 3}
+
+
+def test_epoch_survives_crash_restart_via_journal(tmp_path):
+    """A crash-restarted broker resumes from its journaled epoch, and a
+    journaled fencing mark pins it in the fenced role."""
+    path = tmp_path / "epoch.journal"
+
+    def make_broker(role=PRIMARY):
+        return BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={0: SPEC}, params=PARAMS, journal_path=str(path),
+            recover_journal=True), role=role)
+
+    async def scenario():
+        path.write_bytes(epoch_record(9))
+        promoted = make_broker()
+        await promoted.start()
+        epoch_after_boot = promoted.epoch
+        role_after_boot = promoted.role
+        await promoted.close()
+
+        path.write_bytes(epoch_record(4, fenced=True))
+        fenced = make_broker()
+        await fenced.start()
+        fenced_state = (fenced.epoch, fenced.role, fenced.fenced_by)
+        await fenced.close()
+        return epoch_after_boot, role_after_boot, fenced_state
+
+    epoch_after_boot, role_after_boot, fenced_state = asyncio.run(scenario())
+    assert epoch_after_boot == 9 and role_after_boot == PRIMARY
+    assert fenced_state == (4, FENCED, 4)
+
+
+def test_promotion_journals_the_new_epoch(tmp_path):
+    path = tmp_path / "promo.journal"
+
+    async def scenario():
+        broker = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={0: SPEC}, params=PARAMS, journal_path=str(path),
+            recover_journal=True), role=BACKUP)
+        await broker.start()
+        broker._promote()
+        first = (broker.role, broker.epoch)
+        await broker.close()
+
+        # The restart must resume from the promoted epoch, not boot at 1.
+        restarted = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={0: SPEC}, params=PARAMS, journal_path=str(path),
+            recover_journal=True), role=PRIMARY)
+        await restarted.start()
+        second = (restarted.role, restarted.epoch)
+        await restarted.close()
+        return first, second
+
+    first, second = asyncio.run(scenario())
+    assert first == (PRIMARY, 2)
+    assert second == (PRIMARY, 2)
+
+
+# ----------------------------------------------------------------------
+# Watch-grace regression (the Backup used to promote off its very first
+# missed polls, e.g. while the Primary was still binding its socket)
+# ----------------------------------------------------------------------
+def test_backup_does_not_promote_during_grace():
+    async def scenario():
+        # Watch a port nobody listens on: every poll fails immediately.
+        backup = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={0: SPEC}, params=PARAMS,
+            watch_address=("127.0.0.1", 1), watch_grace=30.0,
+            poll_interval=0.02, reply_timeout=0.1, miss_threshold=3,
+        ), role=BACKUP)
+        await backup.start()
+        # Well past miss_threshold * poll_interval without a promotion.
+        await asyncio.sleep(0.5)
+        role = backup.role
+        await backup.close()
+        return role
+
+    assert asyncio.run(scenario()) == BACKUP
+
+
+def test_backup_promotes_after_grace_expires():
+    async def scenario():
+        backup = BrokerServer("127.0.0.1", 0, RuntimeBrokerConfig(
+            topics={0: SPEC}, params=PARAMS,
+            watch_address=("127.0.0.1", 1), watch_grace=0.0,
+            poll_interval=0.02, reply_timeout=0.1, miss_threshold=3,
+        ), role=BACKUP)
+        await backup.start()
+        ok = await wait_for(lambda: backup.role == PRIMARY, timeout=5.0)
+        epoch = backup.epoch
+        await backup.close()
+        return ok, epoch
+
+    ok, epoch = asyncio.run(scenario())
+    assert ok, "a truly dead Primary must still be taken over"
+    assert epoch >= 2, "promotion must supersede the boot epoch"

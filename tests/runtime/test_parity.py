@@ -59,9 +59,9 @@ def test_disk_plan_disables_all_replication():
 def test_runtime_journals_to_disk(tmp_path):
     """The runtime's disk strategy writes a real fsynced journal."""
     import asyncio
-    import json
 
     from repro.runtime.client import Publisher, Subscriber
+    from repro.runtime.journal import scan_journal
     from tests.runtime.test_runtime import PARAMS, wait_for
 
     async def scenario():
@@ -81,8 +81,9 @@ def test_runtime_journals_to_disk(tmp_path):
         await publisher.close()
         await subscriber.close()
         await broker.close()
-        lines = journal.read_text().strip().splitlines()
-        return [json.loads(line) for line in lines]
+        scan = scan_journal(str(journal))
+        assert scan.corrupt_records == 0 and not scan.torn_tail
+        return scan.records
 
     records = asyncio.run(scenario())
     assert len(records) == 1
@@ -96,6 +97,7 @@ def test_runtime_journal_recovery_after_restart(tmp_path):
     import asyncio
 
     from repro.runtime.client import Publisher, Subscriber
+    from repro.runtime.journal import scan_journal
     from tests.runtime.test_runtime import PARAMS, wait_for
 
     async def scenario():
@@ -132,11 +134,9 @@ def test_runtime_journal_recovery_after_restart(tmp_path):
         await subscriber2.close()
         await second.close()
         # The replay must not have re-journaled the replayed messages.
-        journal_lines = [line for line in journal.read_text().splitlines()
-                         if line.strip()]
-        return ok, recovered, len(journal_lines)
+        return ok, recovered, len(scan_journal(str(journal)).records)
 
-    ok, recovered, journal_lines = asyncio.run(scenario())
+    ok, recovered, journal_records = asyncio.run(scenario())
     assert ok, "journaled messages were not re-delivered after restart"
     assert recovered == 2
-    assert journal_lines == 2
+    assert journal_records == 2

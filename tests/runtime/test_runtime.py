@@ -269,10 +269,10 @@ def test_concurrent_journal_writes_never_interleave(tmp_path):
     """Regression: ``_journal_write`` ran on ``asyncio.to_thread`` from
     several workers against one shared handle with no lock.  With the
     journal serialized, every record must parse and replay cleanly."""
-    import json
     import time
 
     from repro.core.policy import DISK_LOG
+    from repro.runtime.journal import scan_journal
     from repro.runtime.wire import write_frame
 
     async def scenario():
@@ -292,11 +292,11 @@ def test_concurrent_journal_writes_never_interleave(tmp_path):
         await broker.close()
         writer.close()
         assert ok
-        lines = journal.read_bytes().splitlines()
-        assert len(lines) == 40
-        records = [json.loads(line) for line in lines]   # all parse
+        scan = scan_journal(str(journal))
+        assert scan.corrupt_records == 0 and not scan.torn_tail
+        assert len(scan.records) == 40                   # all CRC-verified
         keys = {(decode_message(r).topic_id, decode_message(r).seq)
-                for r in records}
+                for r in scan.records}
         assert keys == {(t, s) for t in range(4) for s in range(1, 11)}
 
     asyncio.run(scenario())

@@ -81,8 +81,15 @@ messages = st.builds(
     data=payloads,
 )
 
+# Epoch stamps on broker-originated frames: absent or >= 1 (0 is the
+# wire-level "unstamped" sentinel and decodes back to an absent key).
+epochs = st.one_of(st.none(), st.integers(1, 2**32 - 1))
+
 frames = st.one_of(
-    st.builds(lambda m: {"type": "deliver", "message": m}, messages),
+    st.builds(lambda m, e: ({"type": "deliver", "message": m} if e is None
+                            else {"type": "deliver", "message": m,
+                                  "epoch": e}),
+              messages, epochs),
     st.builds(lambda ms, resend, pub: (
                   {"type": "publish", "resend": resend, "messages": ms}
                   if pub is None else
@@ -90,14 +97,18 @@ frames = st.one_of(
                    "publisher": pub}),
               st.lists(messages, max_size=4), st.booleans(),
               st.one_of(st.none(), st.text(max_size=16))),
-    st.builds(lambda m, a: ({"type": "replica", "message": m,
-                             "arrived_at": a} if a is not None
-                            else {"type": "replica", "message": m}),
+    st.builds(lambda m, a, e: dict(
+                  {"type": "replica", "message": m},
+                  **({} if a is None else {"arrived_at": a}),
+                  **({} if e is None else {"epoch": e})),
               messages,
               st.one_of(st.none(), st.floats(min_value=0.0, max_value=4e12,
-                                             allow_nan=False))),
-    st.builds(lambda t, s: {"type": "prune", "topic": t, "seq": s},
-              st.integers(0, 2**32 - 1), st.integers(0, 2**64 - 1)),
+                                             allow_nan=False)),
+              epochs),
+    st.builds(lambda t, s, e: dict(
+                  {"type": "prune", "topic": t, "seq": s},
+                  **({} if e is None else {"epoch": e})),
+              st.integers(0, 2**32 - 1), st.integers(0, 2**64 - 1), epochs),
 )
 
 
@@ -107,6 +118,7 @@ def test_frame_roundtrip_property(frame, binary):
     blob = encode_frames((frame,), binary=binary)
     (decoded,) = decode_all(blob)
     assert decoded["type"] == frame["type"]
+    assert decoded.get("epoch") == frame.get("epoch")
     if frame["type"] in ("deliver", "replica"):
         assert_same_message(decoded["message"], frame["message"])
         if frame["type"] == "replica":
@@ -135,7 +147,7 @@ def test_binary_deliver_is_smaller_than_json():
              "message": Message(1, 42, 1234.5, data="x" * 16)}
     json_blob = encode_frames((frame,))
     bin_blob = encode_frames((frame,), binary=True)
-    assert len(bin_blob) < len(json_blob) / 2
+    assert len(bin_blob) < len(json_blob) * 0.6
     assert bin_blob[4] == 0x00                   # binary marker
     assert json_blob[4:5] == b"{"
 
@@ -255,9 +267,20 @@ def test_unknown_binary_kind_raises():
 
 
 def test_unknown_payload_tag_raises():
-    # deliver + valid message header, then a payload tag that isn't 0/1/2.
-    interior = (b"\x00\x02" + struct.pack(">IQd", 1, 1, 0.0)
+    # deliver head (marker, kind, epoch) + valid message header, then a
+    # payload tag that isn't 0/1/2.
+    interior = (b"\x00\x02" + struct.pack(">I", 0)
+                + struct.pack(">IQd", 1, 1, 0.0)
                 + b"\x09" + struct.pack(">I", 0))
     blob = struct.pack(">I", len(interior)) + interior
     with pytest.raises(ProtocolError, match="unknown payload tag"):
         decode_all(blob)
+
+
+def test_out_of_range_epoch_falls_back_to_json():
+    frame = {"type": "deliver", "epoch": 1 << 40,
+             "message": Message(1, 1, 0.0, data=None)}
+    blob = encode_frames((frame,), binary=True)
+    assert blob[4:5] == b"{"
+    (decoded,) = decode_all(blob)
+    assert decoded["epoch"] == 1 << 40

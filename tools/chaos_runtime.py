@@ -1,0 +1,301 @@
+#!/usr/bin/env python3
+"""Seeded chaos harness: randomized fault schedules over a live runtime.
+
+Drives a :class:`~repro.runtime.deployment.LocalDeployment` (with
+``chaos=True``, so both inter-broker links run through
+:class:`~repro.runtime.chaosproxy.ChaosProxy`) through a **seeded,
+reproducible** schedule of network and process faults, publishing real
+traffic throughout, and asserts the FRAME invariants
+(:mod:`repro.runtime.invariants`) after every heal:
+
+* zero loss of admitted messages,
+* at-most-once delivery after dedup (no phantom sequence numbers),
+* per-topic gapless sequence coverage, and
+* at most one unfenced Primary (split-brain resolves by epoch fencing).
+
+The schedule is a pure function of ``(seed, duration)`` — the same seed
+always yields the same fault sequence, so a failing run is replayable
+with ``--seed N``.  Every schedule covers at least four distinct fault
+kinds (partition, one-way blackhole, latency injection, Backup
+crash/restart) and always ends with the **split-brain drill**: partition
+until the Backup promotes, publish into the stale Primary on the
+minority side, heal, and require the stale Primary to demote to
+``fenced`` with zero message loss.
+
+Publish bursts per fault window stay within the publisher's retention
+(the replicated topic keeps 8), so FRAME's retention argument makes
+"zero loss" the exact expectation rather than an approximation.
+
+Run:  python tools/chaos_runtime.py --seed 1 --duration 10
+Exit: 0 when every invariant held, 1 otherwise (report on stdout,
+      optionally mirrored to ``--json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import EDGE, TopicSpec  # noqa: E402
+from repro.core.timing import DeadlineParameters  # noqa: E402
+from repro.runtime.broker import FENCED  # noqa: E402
+from repro.runtime.deployment import LocalDeployment  # noqa: E402
+from repro.runtime.invariants import InvariantChecker  # noqa: E402
+
+# ----------------------------------------------------------------------
+# Workload: one replicated topic, one Proposition-1-suppressed topic.
+# With failover_time=0.5 below: topic 0 has (N+L)*T - D = -0.4 < 0.49 so
+# it needs replication; topic 1 has 3.2 - 2.0 = 1.2 > 0.49 so
+# replication is suppressed — chaos exercises both plan branches.
+# ----------------------------------------------------------------------
+TOPICS = [
+    TopicSpec(topic_id=0, period=0.2, deadline=2.0, loss_tolerance=0,
+              retention=8, destination=EDGE, category=2),
+    TopicSpec(topic_id=1, period=0.2, deadline=2.0, loss_tolerance=0,
+              retention=16, destination=EDGE, category=3),
+]
+
+PARAMS = DeadlineParameters(
+    delta_pb=0.01, delta_bb=0.01, delta_bs_edge=0.02,
+    delta_bs_cloud=0.1, failover_time=0.5)
+
+#: Max messages published per topic inside any single fault window —
+#: strictly below topic 0's retention of 8, so the retention buffer
+#: provably covers every fail-over/fencing resend.
+BURST = 6
+
+#: The four fault kinds every schedule must contain at least once.
+REQUIRED_KINDS = ("partition", "blackhole", "latency",
+                  "crash_restart_backup")
+
+#: Optional extras the scheduler may add when the duration allows.
+EXTRA_KINDS = ("bandwidth", "reset_connections", "partition", "blackhole",
+               "latency")
+
+#: Rough wall-clock cost of one op (fault hold + publish + settle), used
+#: only to size the schedule to ``--duration``; the run is not clamped.
+OP_COST = {"partition": 1.6, "blackhole": 1.4, "latency": 1.6,
+           "bandwidth": 1.6, "reset_connections": 1.2,
+           "crash_restart_backup": 2.5, "split_brain": 8.0}
+
+
+def build_schedule(seed: int, duration: float) -> List[Dict[str, object]]:
+    """Deterministically expand ``(seed, duration)`` into a fault plan.
+
+    Pure: only :class:`random.Random` seeded with ``seed`` is consulted,
+    so the same arguments always produce the same schedule.
+    """
+    rng = random.Random(seed)
+    ops: List[Dict[str, object]] = []
+    for kind in REQUIRED_KINDS:
+        ops.append(_op(rng, kind))
+    rng.shuffle(ops)
+    budget = duration - OP_COST["split_brain"] - sum(
+        OP_COST[op["kind"]] for op in ops)
+    while budget > 0:
+        kind = rng.choice(EXTRA_KINDS)
+        ops.append(_op(rng, kind))
+        budget -= OP_COST[kind]
+    # The split-brain drill is always last: it ends with a promoted
+    # Backup and a fenced ex-Primary, a topology the simpler ops do not
+    # expect to start from.
+    ops.append({"kind": "split_brain"})
+    return ops
+
+
+def _op(rng: random.Random, kind: str) -> Dict[str, object]:
+    if kind == "partition":
+        # Short of the promotion horizon (watch_grace + misses ≈ 3 s),
+        # so the Backup rides it out without promoting.
+        return {"kind": kind, "hold": round(rng.uniform(0.3, 0.7), 3)}
+    if kind == "blackhole":
+        return {"kind": kind,
+                "proxy": rng.choice(["to_backup", "to_primary"]),
+                "direction": rng.choice(["c2s", "s2c"]),
+                "hold": round(rng.uniform(0.3, 0.6), 3)}
+    if kind == "latency":
+        return {"kind": kind,
+                "latency": round(rng.uniform(0.02, 0.08), 3),
+                "jitter": round(rng.uniform(0.0, 0.02), 3)}
+    if kind == "bandwidth":
+        return {"kind": kind,
+                "bytes_per_second": rng.choice([4096, 8192, 16384])}
+    if kind == "reset_connections":
+        return {"kind": kind,
+                "proxy": rng.choice(["to_backup", "to_primary"])}
+    if kind == "crash_restart_backup":
+        return {"kind": kind, "downtime": round(rng.uniform(0.2, 0.5), 3)}
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+class ChaosError(AssertionError):
+    """The harness itself could not complete an op (distinct from an
+    invariant violation, which is reported, not raised)."""
+
+
+async def publish_burst(publisher, count: int = BURST,
+                        gap: float = 0.02) -> None:
+    for index in range(count):
+        await publisher.publish({spec.topic_id: f"chaos-{index}"
+                                 for spec in TOPICS})
+        await asyncio.sleep(gap)
+
+
+async def wait_until(predicate, timeout: float, what: str,
+                     interval: float = 0.02) -> None:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() >= deadline:
+            raise ChaosError(what)
+        await asyncio.sleep(interval)
+
+
+def _proxy(deployment: LocalDeployment, which: str):
+    return (deployment.proxy_to_backup if which == "to_backup"
+            else deployment.proxy_to_primary)
+
+
+async def run_op(deployment: LocalDeployment, publisher,
+                 op: Dict[str, object], timeout: float) -> None:
+    kind = op["kind"]
+    if kind == "partition":
+        deployment.partition()
+        await publish_burst(publisher)
+        await asyncio.sleep(op["hold"])
+        deployment.heal()
+    elif kind == "blackhole":
+        proxy = _proxy(deployment, op["proxy"])
+        proxy.blackhole(op["direction"])
+        await publish_burst(publisher)
+        await asyncio.sleep(op["hold"])
+        deployment.heal()
+    elif kind == "latency":
+        deployment.proxy_to_backup.set_latency(op["latency"], op["jitter"])
+        deployment.proxy_to_primary.set_latency(op["latency"], op["jitter"])
+        await publish_burst(publisher)
+        deployment.heal()
+    elif kind == "bandwidth":
+        deployment.proxy_to_backup.set_bandwidth(op["bytes_per_second"])
+        await publish_burst(publisher)
+        deployment.heal()
+    elif kind == "reset_connections":
+        _proxy(deployment, op["proxy"]).reset_connections()
+        await publish_burst(publisher)
+        # The supervised peer link / watcher reconnects on its own;
+        # nothing to heal (resets are instantaneous faults).
+    elif kind == "crash_restart_backup":
+        await deployment.crash_backup()
+        await publish_burst(publisher)
+        await asyncio.sleep(op["downtime"])
+        await deployment.restart_backup(timeout=timeout)
+    elif kind == "split_brain":
+        await run_split_brain(deployment, publisher, timeout)
+    else:
+        raise ChaosError(f"unknown fault kind {kind!r}")
+
+
+async def run_split_brain(deployment: LocalDeployment, publisher,
+                          timeout: float) -> None:
+    """Partition until the Backup promotes, publish into the stale
+    Primary, heal, and wait for epoch fencing to resolve the brain."""
+    stale = deployment.primary
+    deployment.partition()
+    await asyncio.wait_for(deployment.backup.promoted.wait(),
+                           timeout=timeout)
+    # Publish into the stale Primary (the publisher still points at it):
+    # these are the messages only retention + fail-over resend can save.
+    await publish_burst(publisher)
+    deployment.heal()
+    await wait_until(lambda: stale.role == FENCED, timeout,
+                     "stale Primary was not fenced after the heal")
+    await asyncio.wait_for(publisher.failed_over.wait(), timeout=timeout)
+    # One post-fail-over burst proves the promoted Primary serves.
+    await publish_burst(publisher)
+
+
+async def chaos(args) -> Dict[str, object]:
+    schedule = build_schedule(args.seed, args.duration)
+    report: Dict[str, object] = {
+        "seed": args.seed, "duration": args.duration,
+        "schedule": schedule, "ops": [], "ok": True,
+    }
+    deployment = LocalDeployment(
+        TOPICS, params=PARAMS, chaos=True,
+        poll_interval=0.1, reply_timeout=0.3, miss_threshold=5)
+    await deployment.start()
+    try:
+        subscriber = await deployment.add_subscriber()
+        publisher = await deployment.add_publisher(publisher_id="chaos")
+        checker = InvariantChecker(deployment, [publisher], [subscriber],
+                                   timeout=args.timeout)
+        # Baseline traffic before any fault.
+        await publish_burst(publisher)
+        baseline = await checker.check_all()
+        report["ops"].append({"kind": "baseline",
+                              **baseline.as_dict()})
+        for op in schedule:
+            await run_op(deployment, publisher, op, args.timeout)
+            result = await checker.check_all()
+            entry = dict(op)
+            entry.update(result.as_dict())
+            report["ops"].append(entry)
+            status = "ok" if result.ok else "VIOLATED"
+            print(f"op {op['kind']}: {status}")
+            if not result.ok:
+                report["ok"] = False
+                for violation in result.violations:
+                    print(f"  {violation.invariant}: {violation.detail}")
+        # Summary stats for the artifact.
+        report["fencing"] = deployment.primary.snapshot()["fencing"]
+        report["proxies"] = {
+            "to_backup": deployment.proxy_to_backup.stats(),
+            "to_primary": deployment.proxy_to_primary.stats(),
+        }
+        report["published"] = dict(publisher._seq)
+    finally:
+        await deployment.close()
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Seeded chaos harness for the FRAME runtime")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="schedule seed (same seed ⇒ same faults)")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="approximate schedule length in seconds")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-wait timeout (promotion, fencing, ...)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    try:
+        report = asyncio.run(chaos(args))
+    except ChaosError as exc:
+        print(f"CHAOS HARNESS FAILED: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2, default=str))
+        print(f"report written to {args.json}")
+    violations = sum(len(entry.get("violations", []))
+                     for entry in report["ops"])
+    print(f"chaos seed={args.seed}: {len(report['ops']) - 1} ops, "
+          f"{violations} invariant violations")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

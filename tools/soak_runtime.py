@@ -35,6 +35,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro import EDGE, TopicSpec  # noqa: E402
+from repro.runtime.broker import BACKUP  # noqa: E402
 from repro.runtime.client import fetch_stats  # noqa: E402
 from repro.runtime.deployment import LocalDeployment  # noqa: E402
 
@@ -167,6 +168,48 @@ async def soak(args) -> dict:
         await deployment.close()
 
 
+async def partition_soak(args) -> dict:
+    """Short partition/heal rounds that must *not* promote the Backup.
+
+    Routes both inter-broker links through chaos proxies, stalls them
+    for less than the promotion horizon each round, and asserts that
+
+    * the Backup rode the blip out (still ``backup``, never promoted),
+    * nothing was fenced, and
+    * every message published during the stall was delivered (the held
+      bytes resumed in order after the heal — zero dispatch loss).
+    """
+    deployment = LocalDeployment(TOPICS, chaos=True, poll_interval=0.1,
+                                 reply_timeout=0.3, miss_threshold=5)
+    await deployment.start()
+    report = {"partition_rounds": []}
+    try:
+        subscriber = await deployment.add_subscriber()
+        publisher = await deployment.add_publisher(publisher_id="soak-part")
+        for round_index in range(1, args.rounds + 1):
+            deployment.partition()
+            await publish_for(publisher, min(args.duration, 0.3), args.period)
+            deployment.heal()
+            delivered = await assert_zero_loss(publisher, subscriber,
+                                               args.timeout)
+            if deployment.backup.role != BACKUP:
+                raise SoakError(
+                    f"Backup promoted during a {min(args.duration, 0.3)}s "
+                    f"partition (role={deployment.backup.role})")
+            snapshot = deployment.primary.snapshot()
+            if snapshot["fencing"]["fenced"]:
+                raise SoakError("Primary fenced by a non-promoting blip")
+            report["partition_rounds"].append({
+                "round": round_index, "messages_verified": delivered,
+            })
+            print(f"partition round {round_index}: healed, zero loss "
+                  f"({delivered} messages verified, Backup never promoted)")
+        report["ok"] = True
+        return report
+    finally:
+        await deployment.close()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=3,
@@ -179,22 +222,30 @@ def main(argv=None) -> int:
                         help="per-wait timeout (default 10 s)")
     parser.add_argument("--failover", action="store_true",
                         help="end with a Primary crash + re-protection drill")
+    parser.add_argument("--partition", action="store_true",
+                        help="run short partition/heal rounds through chaos "
+                             "proxies instead of Backup kill/restart rounds")
     parser.add_argument("--json", type=Path, default=None,
                         help="write the soak report to this file")
     args = parser.parse_args(argv)
     started = time.time()
     try:
-        report = asyncio.run(soak(args))
+        report = asyncio.run(partition_soak(args) if args.partition
+                             else soak(args))
     except SoakError as exc:
         print(f"SOAK FAILED: {exc}", file=sys.stderr)
         return 1
     report["wall_seconds"] = round(time.time() - started, 3)
     if args.json is not None:
         args.json.write_text(json.dumps(report, indent=2, default=str))
-    print(f"soak ok: {args.rounds} Backup blips"
-          f"{' + 1 failover' if args.failover else ''}, zero dispatch loss, "
-          f"{report['duplicates_suppressed']} duplicates suppressed, "
-          f"{report['wall_seconds']}s wall")
+    if args.partition:
+        print(f"soak ok: {args.rounds} healed partitions, zero dispatch "
+              f"loss, Backup never promoted, {report['wall_seconds']}s wall")
+    else:
+        print(f"soak ok: {args.rounds} Backup blips"
+              f"{' + 1 failover' if args.failover else ''}, zero dispatch "
+              f"loss, {report['duplicates_suppressed']} duplicates "
+              f"suppressed, {report['wall_seconds']}s wall")
     return 0
 
 
